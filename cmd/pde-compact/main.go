@@ -1,0 +1,86 @@
+// Command pde-compact builds the §4.3 compact routing hierarchy and
+// reports the table-size/stretch trade-off across k, including the
+// truncated strategies of Theorem 4.13 (simulate) and Corollary 4.14
+// (broadcast).
+//
+// Usage:
+//
+//	pde-compact [-n 50] [-k 3] [-l0 0] [-strategy none|simulate|broadcast] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pde"
+)
+
+func main() {
+	n := flag.Int("n", 50, "number of nodes")
+	k := flag.Int("k", 3, "levels (stretch <= 4k-3)")
+	l0 := flag.Int("l0", 0, "truncation level (0 = none)")
+	strategy := flag.String("strategy", "none", "none | simulate | broadcast")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	strat := pde.StrategyNone
+	switch *strategy {
+	case "none":
+	case "simulate":
+		strat = pde.StrategySimulate
+	case "broadcast":
+		strat = pde.StrategyBroadcast
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	g := pde.RandomGraph(*n, 6.0/float64(*n), 12, *seed)
+	sch, err := pde.BuildCompactScheme(g, pde.CompactParams{
+		K: *k, Epsilon: 0.25, C: 1.5, L0: *l0, Strategy: strat, Seed: *seed,
+	}, pde.Config{Parallel: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for l := 0; l < *k; l++ {
+		fmt.Printf("level %d: |S_%d| = %d\n", l, l, len(sch.Levels[l]))
+	}
+	fmt.Printf("rounds: direct=%d skeleton=%d truncated=%d tree-labeling=%d total=%d\n",
+		sch.Rounds.DirectLevels, sch.Rounds.SkeletonPDE, sch.Rounds.TruncatedSim,
+		sch.Rounds.TreeLabeling, sch.Rounds.Total)
+
+	truth := pde.GroundTruth(g)
+	worst, sum, cnt := 0.0, 0.0, 0
+	maxWords, sumWords, maxBits := 0, 0, 0
+	for v := 0; v < g.N(); v++ {
+		w := sch.TableWords(v)
+		sumWords += w
+		if w > maxWords {
+			maxWords = w
+		}
+		if b := sch.LabelBits(v); b > maxBits {
+			maxBits = b
+		}
+		for u := 0; u < g.N(); u++ {
+			if v == u {
+				continue
+			}
+			rt, err := sch.Route(v, sch.Labels[u])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s := rt.Stretch(truth.Dist(v, u))
+			sum += s
+			cnt++
+			if s > worst {
+				worst = s
+			}
+		}
+	}
+	fmt.Printf("stretch: max=%.3f mean=%.3f bound(4k-3)=%d\n", worst, sum/float64(cnt), 4**k-3)
+	fmt.Printf("tables: mean=%.1f max=%d words; shared (global) state=%d words\n",
+		float64(sumWords)/float64(g.N()), maxWords, sch.SharedWords())
+	fmt.Printf("labels: max %d bits (O(k log n))\n", maxBits)
+}

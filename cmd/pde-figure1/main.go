@@ -1,0 +1,76 @@
+// Command pde-figure1 reproduces the paper's Figure 1 experiment on the
+// lower-bound gadget: exact (S, h+1, σ)-detection needs ~σ·h rounds (all
+// σ·h pairs cross the single bottleneck edge), while PDE's round budget is
+// additive in h+σ.
+//
+// Usage:
+//
+//	pde-figure1 [-h 8] [-sigma 8] [-eps 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pde"
+	"pde/internal/baseline"
+	"pde/internal/congest"
+	"pde/internal/core"
+)
+
+func main() {
+	h := flag.Int("h", 8, "gadget chain length h")
+	sigma := flag.Int("sigma", 8, "sources per column σ")
+	eps := flag.Float64("eps", 1, "PDE approximation slack")
+	flag.Parse()
+
+	f := pde.Figure1Gadget(*h, *sigma)
+	fmt.Printf("gadget: h=%d σ=%d n=%d (σ·h = %d pairs must cross the dashed edge)\n",
+		*h, *sigma, f.G.N(), *sigma**h)
+
+	isSource := make([]bool, f.G.N())
+	for _, s := range f.Sources {
+		isSource[s] = true
+	}
+	want := baseline.ExactBruteForce(f.G, baseline.ExactParams{
+		IsSource: isSource, H: *h + 1, Sigma: *sigma,
+	})
+	correctAt := -1
+	probe := func(round int, list func(v int) []baseline.WEntry) bool {
+		for _, u := range f.UNode {
+			got := list(u)
+			if len(got) != len(want[u]) {
+				return false
+			}
+			for i := range got {
+				if got[i].Dist != want[u][i].Dist || got[i].Src != want[u][i].Src {
+					return false
+				}
+			}
+		}
+		correctAt = round
+		return true
+	}
+	ex, err := baseline.ExactDetect(f.G, baseline.ExactParams{
+		IsSource: isSource, H: *h + 1, Sigma: *sigma, Probe: probe,
+	}, congest.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("exact detection: first-correct round=%d  budget=%d  (σ·h=%d)\n",
+		correctAt, ex.Budget, *sigma**h)
+
+	res, err := core.Run(f.G, core.Params{
+		IsSource: isSource, H: *h + 1, Sigma: *sigma,
+		Epsilon: *eps, CapMessages: true,
+	}, congest.Config{Parallel: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("PDE (ε=%.2f):    budget=%d rounds  active=%d  instances=%d  (additive in h+σ)\n",
+		*eps, res.BudgetRounds, res.ActiveRounds, len(res.Instances))
+	fmt.Printf("scaling:         exact grows like σ·h; PDE like (h+σ)·log w_max — rerun with doubled h and σ to see the separation widen.\n")
+}

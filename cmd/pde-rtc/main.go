@@ -1,0 +1,78 @@
+// Command pde-rtc builds Theorem 4.5 routing tables on a generated
+// topology, measures route stretch against ground truth, and reports the
+// construction's round breakdown, label sizes and (with -trees) the
+// Lemma 4.4 tree statistics.
+//
+// Usage:
+//
+//	pde-rtc [-n 60] [-k 2] [-eps 0.25] [-p 0.25] [-seed 1] [-trees]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pde"
+)
+
+func main() {
+	n := flag.Int("n", 60, "number of nodes")
+	k := flag.Int("k", 2, "stretch parameter (stretch <= 6k-1)")
+	eps := flag.Float64("eps", 0.25, "PDE slack")
+	prob := flag.Float64("p", 0.25, "skeleton sampling probability (0 = paper's n^{-1/2-1/(4k)})")
+	seed := flag.Int64("seed", 1, "seed")
+	trees := flag.Bool("trees", false, "print Lemma 4.4 tree statistics")
+	flag.Parse()
+
+	g := pde.RandomGraph(*n, 6.0/float64(*n), 16, *seed)
+	sch, err := pde.BuildRoutingScheme(g, pde.RoutingParams{
+		K: *k, Epsilon: *eps, SampleProb: *prob, Seed: *seed,
+	}, pde.Config{Parallel: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: n=%d m=%d   skeleton |S|=%d   spanner edges=%d\n",
+		g.N(), g.M(), len(sch.Skeleton), len(sch.Span.Edges))
+	fmt.Printf("rounds: short-range=%d skeleton=%d spanner=%d tree-labeling=%d total=%d\n",
+		sch.Rounds.ShortRangePDE, sch.Rounds.SkeletonPDE, sch.Rounds.Spanner,
+		sch.Rounds.TreeLabeling, sch.Rounds.Total)
+
+	truth := pde.GroundTruth(g)
+	worst, sum, cnt := 0.0, 0.0, 0
+	maxBits := 0
+	for v := 0; v < g.N(); v++ {
+		if b := sch.LabelBits(v); b > maxBits {
+			maxBits = b
+		}
+		for w := 0; w < g.N(); w++ {
+			if v == w {
+				continue
+			}
+			rt, err := sch.Route(v, sch.Labels[w])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s := rt.Stretch(truth.Dist(v, w))
+			sum += s
+			cnt++
+			if s > worst {
+				worst = s
+			}
+		}
+	}
+	fmt.Printf("stretch: max=%.3f mean=%.3f bound(6k-1)=%d\n", worst, sum/float64(cnt), 6**k-1)
+	fmt.Printf("labels: max %d bits (O(log n))\n", maxBits)
+
+	if *trees {
+		depths, perNode := sch.TreeStats()
+		sort.Ints(depths)
+		sort.Ints(perNode)
+		fmt.Printf("trees: %d total; depth median=%d max=%d; trees/node median=%d max=%d\n",
+			len(depths), depths[len(depths)/2], depths[len(depths)-1],
+			perNode[len(perNode)/2], perNode[len(perNode)-1])
+	}
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"pde/internal/congest"
+	"pde/internal/graph"
+)
+
+// BFResult is the output of the pipelined Bellman–Ford APSP baseline.
+type BFResult struct {
+	// Dist[v][s] is the exact distance wd(v, s) computed by node v.
+	Dist [][]graph.Weight
+	// Parent[v][s] is v's next hop toward s (-1 for v = s).
+	Parent  [][]int32
+	Metrics *congest.Metrics
+}
+
+// bfProc is one node of the pipelined distributed Bellman–Ford: it keeps a
+// distance vector and announces one improved (source, distance) pair per
+// round — the CONGEST-compliant pipelining of the classic RIP-style
+// algorithm (§1 background). Announcement order is lexicographically
+// smallest unsent, mirroring the detection substrate.
+type bfProc struct {
+	n      int
+	wts    []graph.Weight
+	dist   []graph.Weight
+	parent []int32
+	sent   []graph.Weight // last announced value per source
+	queue  []int32        // sources with unannounced improvements, kept sorted by (dist, src)
+}
+
+func (p *bfProc) Init(ctx *congest.Ctx) {
+	v := ctx.Node()
+	p.wts = make([]graph.Weight, ctx.Degree())
+	for port, e := range ctx.Neighbors() {
+		p.wts[port] = e.W
+	}
+	p.dist = make([]graph.Weight, p.n)
+	p.parent = make([]int32, p.n)
+	p.sent = make([]graph.Weight, p.n)
+	for s := range p.dist {
+		p.dist[s] = graph.Infinity
+		p.parent[s] = -1
+		p.sent[s] = graph.Infinity
+	}
+	p.dist[v] = 0
+	p.enqueue(int32(v))
+	p.emit(ctx)
+}
+
+func (p *bfProc) enqueue(s int32) {
+	for _, q := range p.queue {
+		if q == s {
+			return
+		}
+	}
+	p.queue = append(p.queue, s)
+}
+
+// pick removes and returns the queued source with the smallest
+// (distance, source) key.
+func (p *bfProc) pick() int32 {
+	best := 0
+	for i := 1; i < len(p.queue); i++ {
+		a, b := p.queue[i], p.queue[best]
+		if p.dist[a] < p.dist[b] || (p.dist[a] == p.dist[b] && a < b) {
+			best = i
+		}
+	}
+	s := p.queue[best]
+	p.queue = append(p.queue[:best], p.queue[best+1:]...)
+	return s
+}
+
+func (p *bfProc) emit(ctx *congest.Ctx) {
+	for len(p.queue) > 0 {
+		s := p.pick()
+		if p.sent[s] <= p.dist[s] {
+			continue // stale: already announced an equal or better value
+		}
+		p.sent[s] = p.dist[s]
+		ctx.Broadcast(wMsg{dist: p.dist[s], src: s})
+		break
+	}
+	if len(p.queue) > 0 {
+		ctx.WakeNext()
+	}
+}
+
+func (p *bfProc) Round(ctx *congest.Ctx) {
+	for _, in := range ctx.In() {
+		m := in.Msg.(wMsg)
+		if nd := m.dist + p.wts[in.Port]; nd < p.dist[m.src] {
+			p.dist[m.src] = nd
+			p.parent[m.src] = int32(in.From)
+			p.enqueue(m.src)
+		}
+	}
+	p.emit(ctx)
+}
+
+// BellmanFordAPSP computes exact APSP with the pipelined Bellman–Ford
+// baseline, running to quiescence. Its round count is the Θ(n)–Θ(n·SPD)
+// cost the paper's algorithms undercut approximately.
+func BellmanFordAPSP(g *graph.Graph, cfg congest.Config) (*BFResult, error) {
+	n := g.N()
+	procs := make([]congest.Proc, n)
+	states := make([]bfProc, n)
+	for v := 0; v < n; v++ {
+		states[v] = bfProc{n: n}
+		procs[v] = &states[v]
+	}
+	met, err := congest.Run(g, procs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &BFResult{
+		Dist:    make([][]graph.Weight, n),
+		Parent:  make([][]int32, n),
+		Metrics: met,
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = states[v].dist
+		res.Parent[v] = states[v].parent
+	}
+	return res, nil
+}
+
+// FloodResult is the output of the topology-flooding baseline.
+type FloodResult struct {
+	// Dist[v][s] is the exact distance computed locally by v after it
+	// learned the full topology.
+	Dist [][]graph.Weight
+	// TableWords is the per-node storage in words: Θ(m), the cost OSPF
+	// pays that compact schemes avoid.
+	TableWords int
+	Metrics    *congest.Metrics
+}
+
+// edgeMsg describes one edge of the topology being flooded. The id is
+// local bookkeeping derivable from the endpoints; only the endpoints and
+// weight are charged on the wire.
+type edgeMsg struct {
+	id   int32
+	u, v int32
+	w    graph.Weight
+}
+
+func (m edgeMsg) Bits() int {
+	return 4 + bits.Len32(uint32(m.u)) + bits.Len32(uint32(m.v)) + bits.Len64(uint64(m.w))
+}
+
+type floodProc struct {
+	m     int
+	known map[int32]edgeMsg
+	queue []int32 // edge ids not yet forwarded, FIFO
+}
+
+func (p *floodProc) Init(ctx *congest.Ctx) {
+	p.known = make(map[int32]edgeMsg)
+	v := int32(ctx.Node())
+	for _, e := range ctx.Neighbors() {
+		if v < int32(e.To) {
+			msg := edgeMsg{id: e.ID, u: v, v: int32(e.To), w: e.W}
+			p.known[e.ID] = msg
+			p.queue = append(p.queue, e.ID)
+		}
+	}
+	sort.Slice(p.queue, func(i, j int) bool { return p.queue[i] < p.queue[j] })
+	p.emit(ctx)
+}
+
+func (p *floodProc) emit(ctx *congest.Ctx) {
+	if len(p.queue) > 0 {
+		id := p.queue[0]
+		p.queue = p.queue[1:]
+		ctx.Broadcast(p.known[id])
+	}
+	if len(p.queue) > 0 {
+		ctx.WakeNext()
+	}
+}
+
+func (p *floodProc) Round(ctx *congest.Ctx) {
+	for _, in := range ctx.In() {
+		m := in.Msg.(edgeMsg)
+		if _, ok := p.known[m.id]; !ok {
+			p.known[m.id] = m
+			p.queue = append(p.queue, m.id)
+		}
+	}
+	p.emit(ctx)
+}
+
+// FloodingAPSP floods the complete topology to every node (pipelined, one
+// edge record per edge per round) and solves APSP locally with Dijkstra:
+// the "collect everything then run a centralized algorithm" approach the
+// paper contrasts with (§1). Rounds are Θ(m + D); storage is Θ(m) words
+// per node.
+func FloodingAPSP(g *graph.Graph, cfg congest.Config) (*FloodResult, error) {
+	n := g.N()
+	procs := make([]congest.Proc, n)
+	states := make([]floodProc, n)
+	for v := 0; v < n; v++ {
+		states[v] = floodProc{m: g.M()}
+		procs[v] = &states[v]
+	}
+	met, err := congest.Run(g, procs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &FloodResult{
+		Dist:       make([][]graph.Weight, n),
+		TableWords: 3 * g.M(),
+		Metrics:    met,
+	}
+	for v := 0; v < n; v++ {
+		if len(states[v].known) != g.M() {
+			return nil, fmt.Errorf("baseline: node %d learned %d of %d edges", v, len(states[v].known), g.M())
+		}
+		// Rebuild the topology locally and run Dijkstra, as the real
+		// protocol would.
+		b := graph.NewBuilder(n)
+		ids := make([]int32, 0, len(states[v].known))
+		for id := range states[v].known {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			e := states[v].known[id]
+			b.AddEdge(int(e.u), int(e.v), e.w)
+		}
+		local, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("baseline: node %d rebuilt bad topology: %w", v, err)
+		}
+		res.Dist[v] = graph.Dijkstra(local, v).Dist
+	}
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	tables := All(Quick)
+	if len(tables) != 10 {
+		t.Fatalf("got %d tables, want 10", len(tables))
+	}
+	seen := make(map[string]bool)
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.Ref == "" {
+			t.Fatalf("table %q missing metadata", tb.ID)
+		}
+		if seen[tb.ID] {
+			t.Fatalf("duplicate table id %q", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tb.ID)
+		}
+		for i, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("table %s row %d has %d cells for %d columns", tb.ID, i, len(row), len(tb.Header))
+			}
+		}
+		md := tb.Markdown()
+		if !strings.Contains(md, tb.Title) || !strings.Contains(md, "|") {
+			t.Fatalf("table %s renders badly:\n%s", tb.ID, md)
+		}
+	}
+}
+
+func TestMarkdownEscapesNothingWeird(t *testing.T) {
+	tb := &Table{
+		ID: "X", Title: "T", Ref: "R",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### X — T", "| a | b |", "| 1 | 2 |", "- note"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package compact
+
+import (
+	"fmt"
+	"math"
+
+	"pde/internal/graph"
+)
+
+// Route is one delivered packet's trajectory.
+type Route struct {
+	Path   []int
+	Weight graph.Weight
+	// Level is the hierarchy level the origin selected (0 = direct).
+	Level int
+}
+
+// Stretch returns Weight / exact.
+func (r *Route) Stretch(exact graph.Weight) float64 {
+	if exact == 0 {
+		return 1
+	}
+	return float64(r.Weight) / float64(exact)
+}
+
+// inBunch reports whether (d, s) beats v's level-(l+1) pivot, i.e.
+// s ∈ S'_l(v).
+func (sch *Scheme) inBunch(v int, l int, s int32, d float64) bool {
+	if l+1 >= sch.K {
+		return true
+	}
+	thrD := sch.PivotDist[l+1][v]
+	thrS := sch.Pivot[l+1][v]
+	return d < thrD || (d == thrD && s < thrS)
+}
+
+// selectLevel picks the minimal level ℓ with s'_ℓ(w) ∈ S'_ℓ(v)
+// (s'_0(w) = w), returning the level and the target.
+func (sch *Scheme) selectLevel(v int, dst Label) (int, int32, error) {
+	w := dst.Node
+	if d, ok := sch.levelEstimate(v, 0, w); ok && sch.inBunch(v, 0, w, d) {
+		return 0, w, nil
+	}
+	for l := 1; l < sch.K; l++ {
+		s := dst.Per[l-1].Skel
+		if s < 0 {
+			continue
+		}
+		if d, ok := sch.levelEstimate(v, l, s); ok && sch.inBunch(v, l, s, d) {
+			return l, s, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("compact: node %d has no level for destination %d", v, dst.Node)
+}
+
+// NextHop is the forwarding function: x forwards a packet whose header
+// carries the destination label and the origin-selected (level, target).
+// Decisions use only x's tables and the header.
+func (sch *Scheme) NextHop(x int, dst Label, level int, target int32) (int, error) {
+	w := int(dst.Node)
+	if x == w {
+		return x, nil
+	}
+	// (a) Direct short-circuit: w in x's level-0 tables.
+	if next, ok := sch.levelNextHop(x, 0, dst.Node); ok && next != x {
+		return next, nil
+	}
+	if level >= 1 {
+		// (b) Tree descent once x is an ancestor of w in T^level_target.
+		if tree, ok := sch.Trees[level][target]; ok {
+			if lx, in := tree.Labels[x]; in && lx.Contains(dst.Per[level-1].Tree) {
+				return tree.NextHop(x, dst.Per[level-1].Tree)
+			}
+		}
+		// (c) Continue toward the target pivot at the selected level.
+		if next, ok := sch.levelNextHop(x, level, target); ok && next != x {
+			return next, nil
+		}
+		return 0, fmt.Errorf("compact: node %d cannot advance toward level-%d pivot %d", x, level, target)
+	}
+	return 0, fmt.Errorf("compact: node %d lost level-0 route to %d", x, w)
+}
+
+// Route delivers a packet from v to the node labeled dst.
+func (sch *Scheme) Route(v int, dst Label) (*Route, error) {
+	level, target, err := sch.selectLevel(v, dst)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Route{Path: []int{v}, Level: level}
+	maxSteps := 6 * sch.G.N() * sch.K
+	cur := v
+	for steps := 0; cur != int(dst.Node); steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("compact: route %d->%d exceeded %d steps", v, dst.Node, maxSteps)
+		}
+		next, err := sch.NextHop(cur, dst, level, target)
+		if err != nil {
+			return nil, err
+		}
+		edge, ok := sch.G.EdgeBetween(cur, next)
+		if !ok {
+			return nil, fmt.Errorf("compact: hop %d->%d is not an edge", cur, next)
+		}
+		rt.Weight += edge.W
+		rt.Path = append(rt.Path, next)
+		cur = next
+	}
+	return rt, nil
+}
+
+// DistEstimate answers a distance query from v's tables (§2.4): the
+// best over levels of wd'(v, s'_ℓ(w)) + wd'(w, s'_ℓ(w)).
+func (sch *Scheme) DistEstimate(v int, dst Label) (float64, error) {
+	if v == int(dst.Node) {
+		return 0, nil
+	}
+	best := math.Inf(1)
+	if d, ok := sch.levelEstimate(v, 0, dst.Node); ok {
+		best = d
+	}
+	for l := 1; l < sch.K; l++ {
+		ll := dst.Per[l-1]
+		if ll.Skel < 0 {
+			continue
+		}
+		if d, ok := sch.levelEstimate(v, l, ll.Skel); ok {
+			if val := d + ll.Dist; val < best {
+				best = val
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("compact: node %d has no estimate for %d", v, dst.Node)
+	}
+	return best, nil
+}
+
+// TableWords measures node v's stored table size in words: per-level
+// per-instance PDE lists plus tree-routing state. For truncated schemes
+// the skeleton instance's lists are included; the globally shared
+// simulated outputs are reported separately by SharedWords since every
+// node stores the same copy.
+func (sch *Scheme) TableWords(v int) int {
+	words := 0
+	for l := 0; l < sch.K; l++ {
+		if sch.R[l] == nil {
+			continue
+		}
+		for _, inst := range sch.R[l].Instances {
+			words += 3 * len(inst.Det.Lists[v])
+		}
+	}
+	if sch.SkelR != nil {
+		for _, inst := range sch.SkelR.Instances {
+			words += 3 * len(inst.Det.Lists[v])
+		}
+	}
+	for l := 1; l < sch.K; l++ {
+		for _, lab := range sch.Trees[l] {
+			if _, ok := lab.Labels[v]; ok {
+				words += lab.TableWords(v)
+			}
+		}
+	}
+	return words
+}
+
+// SharedWords is the size of the globally replicated state of a truncated
+// scheme: the simulated level outputs (and, for StrategyBroadcast, the
+// skeleton graph itself).
+func (sch *Scheme) SharedWords() int {
+	words := 0
+	if sch.Gl0 != nil && sch.Strategy == StrategyBroadcast {
+		words += 3 * sch.Gl0.M()
+	}
+	for l := range sch.simDist {
+		for _, dist := range sch.simDist[l] {
+			for _, d := range dist {
+				if !math.IsInf(d, 1) {
+					words += 2
+				}
+			}
+		}
+	}
+	return words
+}
+
+// LabelBits returns |λ(v)| in bits: O(k log n).
+func (sch *Scheme) LabelBits(v int) int {
+	maxDist := 0.0
+	for _, l := range sch.Labels {
+		for _, per := range l.Per {
+			if per.Dist > maxDist && !math.IsInf(per.Dist, 1) {
+				maxDist = per.Dist
+			}
+		}
+	}
+	return sch.Labels[v].Bits(sch.G.N(), maxDist)
+}

@@ -1,0 +1,117 @@
+// Package congest implements the paper's execution model (§2.1): a
+// synchronous message-passing network in which each round every node
+// performs local computation, sends at most one B-bit message per incident
+// edge direction, and receives its neighbors' messages.
+//
+// Algorithms are written as one Proc per node. The engine enforces the
+// bandwidth constraint, accounts rounds and messages, fast-forwards
+// through quiescent periods (reporting both executed and budgeted rounds),
+// and can run node steps either sequentially or on a goroutine worker
+// pool; both engines are deterministic and produce identical executions
+// because a node's step depends only on its own state and inbox.
+package congest
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pde/internal/graph"
+)
+
+// Message is anything an algorithm sends over an edge. Bits reports the
+// encoded size used to enforce the B-bit bandwidth limit.
+type Message interface {
+	Bits() int
+}
+
+// Incoming is a delivered message together with its provenance.
+type Incoming struct {
+	From int // sender node id
+	Port int // index of the connecting edge in the receiver's adjacency
+	Msg  Message
+}
+
+// Proc is the per-node algorithm. Implementations keep their own state;
+// the engine never copies Procs.
+type Proc interface {
+	// Init runs once before the first round with an empty inbox. It may
+	// send messages; they are delivered in round 1.
+	Init(ctx *Ctx)
+	// Round runs once per round in which the node is active (it received
+	// a message, or it requested wake-up via Ctx.WakeNext).
+	Round(ctx *Ctx)
+}
+
+// Ctx is the per-node view of the network for one round. It is only valid
+// during the Init or Round call it is passed to.
+type Ctx struct {
+	node    int
+	round   int
+	nbrs    []graph.Edge
+	inbox   []Incoming
+	out     []Message // one slot per port
+	sent    []bool
+	wake    bool
+	bcast   bool
+	fault   error
+	nsends  int64
+	nbcasts int64
+}
+
+// Node returns this node's identifier.
+func (c *Ctx) Node() int { return c.node }
+
+// Round returns the current round number (1-based; 0 during Init).
+func (c *Ctx) Round() int { return c.round }
+
+// Neighbors returns the node's incident edges; index = port number.
+// The slice is shared and must not be modified.
+func (c *Ctx) Neighbors() []graph.Edge { return c.nbrs }
+
+// Degree returns the number of incident edges.
+func (c *Ctx) Degree() int { return len(c.nbrs) }
+
+// In returns the messages received at the start of this round.
+func (c *Ctx) In() []Incoming { return c.inbox }
+
+// Send transmits m over the given port this round. At most one message
+// may be sent per port per round; violations abort the run.
+func (c *Ctx) Send(port int, m Message) {
+	if c.fault != nil {
+		return
+	}
+	if port < 0 || port >= len(c.nbrs) {
+		c.fault = fmt.Errorf("congest: node %d sent on invalid port %d (degree %d)", c.node, port, len(c.nbrs))
+		return
+	}
+	if c.sent[port] {
+		c.fault = fmt.Errorf("congest: node %d sent twice on port %d in round %d", c.node, port, c.round)
+		return
+	}
+	c.sent[port] = true
+	c.out[port] = m
+	c.nsends++
+}
+
+// Broadcast sends m on every port. Point-to-point sends are accounted per
+// port, and the call additionally counts as one broadcast operation — the
+// quantity Lemma 3.4 bounds.
+func (c *Ctx) Broadcast(m Message) {
+	for p := range c.nbrs {
+		c.Send(p, m)
+	}
+	if c.fault == nil {
+		c.nbcasts++
+	}
+}
+
+// WakeNext requests that this node be scheduled next round even if it
+// receives no messages. Nodes with neither messages nor a wake request
+// are skipped, which lets the engine fast-forward quiescent rounds.
+func (c *Ctx) WakeNext() { c.wake = true }
+
+// DefaultB returns the bandwidth used when Config.B is zero:
+// 32 + 2·⌈log₂(n+1)⌉ bits, a concrete Θ(log n) as the model requires.
+func DefaultB(n int) int {
+	return 32 + 2*bits.Len(uint(n))
+}

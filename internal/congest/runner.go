@@ -1,0 +1,310 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pde/internal/graph"
+)
+
+// Config controls one execution of a distributed algorithm.
+type Config struct {
+	// B is the per-edge-direction bandwidth in bits per round.
+	// Zero means DefaultB(n).
+	B int
+	// MaxRounds is the round budget. The engine stops after this many
+	// rounds even if the network is still active. Zero means no budget
+	// (run to quiescence); a run that never quiesces then fails after a
+	// safety cap.
+	MaxRounds int
+	// Parallel selects the goroutine worker-pool engine. Sequential and
+	// parallel executions are identical; Parallel only changes wall-clock
+	// performance.
+	Parallel bool
+	// Observer, when non-nil, runs after each round's delivery with the
+	// 1-based round number. It runs on the caller's goroutine and may
+	// inspect Proc state. Returning true stops the run early (used by
+	// experiments that probe for output correctness).
+	Observer func(round int) bool
+}
+
+// safetyCap bounds unbudgeted runs so a non-terminating algorithm is
+// reported as an error instead of hanging.
+const safetyCap = 50_000_000
+
+// Metrics reports what an execution cost in the terms the paper uses.
+type Metrics struct {
+	// ActiveRounds is the number of rounds the engine actually executed
+	// (quiescent tail rounds are skipped).
+	ActiveRounds int
+	// BudgetRounds is the configured budget (MaxRounds) when one was set,
+	// else equal to ActiveRounds. Paper round-complexity claims refer to
+	// the budget an algorithm must be given.
+	BudgetRounds int
+	// Quiesced reports whether the run ended because no node had work.
+	Quiesced bool
+	// Stopped reports whether the Observer ended the run.
+	Stopped bool
+	// Messages is the total number of point-to-point messages delivered.
+	Messages int64
+	// MessageBits is the total number of bits delivered.
+	MessageBits int64
+	// Broadcasts[v] counts Broadcast calls by node v (Lemma 3.4's
+	// per-node quantity).
+	Broadcasts []int64
+	// Sends[v] counts point-to-point sends by node v.
+	Sends []int64
+	// MaxBusyPorts is the largest number of distinct (node, port) sends
+	// in any single round, a congestion indicator.
+	MaxBusyPorts int
+}
+
+// MaxBroadcasts returns the per-node maximum of Broadcasts.
+func (m *Metrics) MaxBroadcasts() int64 {
+	var best int64
+	for _, b := range m.Broadcasts {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// TotalBroadcasts returns the sum of Broadcasts over all nodes.
+func (m *Metrics) TotalBroadcasts() int64 {
+	var total int64
+	for _, b := range m.Broadcasts {
+		total += b
+	}
+	return total
+}
+
+// Run executes procs (one per node of g) under cfg and returns metrics.
+//
+// Each round: active nodes take a step (reading messages delivered at the
+// end of the previous round), then all sends are validated against the
+// bandwidth limit and delivered. Nodes that neither received a message
+// nor requested wake-up are skipped; if no node is active and nothing is
+// in flight, the remaining rounds are vacuously identical and the engine
+// fast-forwards to the end of the budget.
+func Run(g *graph.Graph, procs []Proc, cfg Config) (*Metrics, error) {
+	n := g.N()
+	if len(procs) != n {
+		return nil, fmt.Errorf("congest: %d procs for %d nodes", len(procs), n)
+	}
+	b := cfg.B
+	if b == 0 {
+		b = DefaultB(n)
+	}
+	limit := cfg.MaxRounds
+	if limit == 0 {
+		limit = safetyCap
+	}
+
+	eng := &engine{
+		g:     g,
+		procs: procs,
+		b:     b,
+		ctxs:  make([]Ctx, n),
+		cur:   make([][]Incoming, n),
+		next:  make([][]Incoming, n),
+		met: &Metrics{
+			Broadcasts: make([]int64, n),
+			Sends:      make([]int64, n),
+		},
+	}
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		eng.ctxs[v] = Ctx{
+			node: v,
+			nbrs: nbrs,
+			out:  make([]Message, len(nbrs)),
+			sent: make([]bool, len(nbrs)),
+		}
+	}
+	// Reverse-port lookup: a message sent by v on port p is delivered to
+	// u with u's port back to v, so receivers know which edge it used.
+	eng.backPort = make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		eng.backPort[v] = make([]int, len(nbrs))
+		for p, e := range nbrs {
+			q := portOf(g, e.To, v)
+			if q < 0 {
+				return nil, fmt.Errorf("congest: missing reverse edge %d->%d", e.To, v)
+			}
+			eng.backPort[v][p] = q
+		}
+	}
+
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	// Init phase (round 0).
+	if err := eng.step(0, active, cfg.Parallel, true); err != nil {
+		return nil, err
+	}
+	if err := eng.deliver(active); err != nil {
+		return nil, err
+	}
+
+	for r := 1; r <= limit; r++ {
+		anyActive := false
+		for v := range active {
+			if active[v] {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			eng.met.Quiesced = true
+			break
+		}
+		if err := eng.step(r, active, cfg.Parallel, false); err != nil {
+			return nil, err
+		}
+		if err := eng.deliver(active); err != nil {
+			return nil, err
+		}
+		eng.met.ActiveRounds = r
+		if cfg.Observer != nil && cfg.Observer(r) {
+			eng.met.Stopped = true
+			break
+		}
+	}
+	if cfg.MaxRounds == 0 && !eng.met.Quiesced && !eng.met.Stopped {
+		return nil, errors.New("congest: run exceeded safety cap without quiescing")
+	}
+	eng.met.BudgetRounds = cfg.MaxRounds
+	if cfg.MaxRounds == 0 {
+		eng.met.BudgetRounds = eng.met.ActiveRounds
+	}
+	return eng.met, nil
+}
+
+func portOf(g *graph.Graph, from, to int) int {
+	for p, e := range g.Neighbors(from) {
+		if e.To == to {
+			return p
+		}
+	}
+	return -1
+}
+
+type engine struct {
+	g        *graph.Graph
+	procs    []Proc
+	b        int
+	ctxs     []Ctx
+	cur      [][]Incoming // inboxes read this round
+	next     [][]Incoming // inboxes being filled for next round
+	backPort [][]int
+	met      *Metrics
+}
+
+// step runs Init (init=true) or Round on every active node.
+func (e *engine) step(round int, active []bool, parallel, init bool) error {
+	runOne := func(v int) {
+		c := &e.ctxs[v]
+		c.round = round
+		c.inbox = e.cur[v]
+		c.wake = false
+		for p := range c.sent {
+			c.sent[p] = false
+			c.out[p] = nil
+		}
+		if init {
+			e.procs[v].Init(c)
+		} else {
+			e.procs[v].Round(c)
+		}
+	}
+	if !parallel {
+		for v := range e.procs {
+			if active[v] {
+				runOne(v)
+			}
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		var wg sync.WaitGroup
+		chunk := (len(e.procs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(e.procs))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for v := lo; v < hi; v++ {
+					if active[v] {
+						runOne(v)
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for v := range e.procs {
+		if active[v] && e.ctxs[v].fault != nil {
+			return e.ctxs[v].fault
+		}
+	}
+	return nil
+}
+
+// deliver validates and moves this round's sends into next round's
+// inboxes, then advances the active set. It runs sequentially so delivery
+// order (and thus every inbox) is deterministic regardless of engine.
+func (e *engine) deliver(active []bool) error {
+	nextActive := make([]bool, len(active))
+	busy := 0
+	for v := range e.procs {
+		if !active[v] {
+			continue
+		}
+		c := &e.ctxs[v]
+		if c.wake {
+			nextActive[v] = true
+		}
+		e.met.Broadcasts[v] = c.nbcasts
+		e.met.Sends[v] = c.nsends
+		for p, m := range c.out {
+			if m == nil {
+				continue
+			}
+			if got := m.Bits(); got > e.b {
+				return fmt.Errorf("congest: node %d sent %d-bit message, bandwidth B=%d", v, got, e.b)
+			}
+			busy++
+			u := c.nbrs[p].To
+			e.next[u] = append(e.next[u], Incoming{
+				From: v,
+				Port: e.backPort[v][p],
+				Msg:  m,
+			})
+			e.met.Messages++
+			e.met.MessageBits += int64(m.Bits())
+		}
+	}
+	if busy > e.met.MaxBusyPorts {
+		e.met.MaxBusyPorts = busy
+	}
+	for v := range e.next {
+		if len(e.next[v]) > 0 {
+			nextActive[v] = true
+		}
+	}
+	// Swap buffers; recycle consumed inbox slices.
+	for v := range e.cur {
+		e.cur[v] = e.cur[v][:0]
+	}
+	e.cur, e.next = e.next, e.cur
+	copy(active, nextActive)
+	return nil
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution: partial
+// distance estimation (PDE, Definition 2.2) via the weighted-to-unweighted
+// reduction of §3.
+//
+// For i = 0..i_max (i_max = ⌈log_{1+ε} w_max⌉), edge weights are rounded up
+// to multiples of b(i) = (1+ε)^i and each edge is subdivided into
+// ⌈W(e)/b(i)⌉ unit edges, giving the virtual graph G_i. Unweighted source
+// detection (package detection) runs on every G_i with hop bound
+// h' = ⌈(1+ε)²·h/ε⌉ — by Lemma 3.1/Corollary 3.2 the instance i_{v,s}
+// "responsible" for a pair within h real hops keeps its virtual hop
+// distance under h'. The estimates w̃d(v,s) = min_i b(i)·hd_i(v,s) are then
+// (1+ε)-sound, and each node outputs the σ lexicographically smallest.
+//
+// Total round budget: (i_max+1)·(h' + min(σ,|S|) + 1) plus the O(D) setup
+// that aggregates w_max — the O((h+σ)ε⁻²·log n + D) of Corollary 3.5. The
+// per-instance routing tables realize the corollary's stretch-(1+ε)
+// stateless routing to every detected node.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pde/internal/congest"
+	"pde/internal/detection"
+	"pde/internal/graph"
+)
+
+// Params configures one (1+ε)-approximate (S, h, σ)-estimation.
+type Params struct {
+	// IsSource marks the source set S.
+	IsSource []bool
+	// Flags carries per-source metadata bits (§4 hierarchies). May be nil.
+	Flags []uint8
+	// H is the hop bound h in real hops.
+	H int
+	// Sigma is σ.
+	Sigma int
+	// Epsilon is the approximation slack ε > 0.
+	Epsilon float64
+	// CapMessages applies the Lemma 3.4 message cap (on by default in
+	// New; the ablation switches it off).
+	CapMessages bool
+	// Scheduling is forwarded to the detection substrate.
+	Scheduling detection.Scheduling
+	// Delays is forwarded to the detection substrate for Priority
+	// scheduling (the randomized baseline).
+	Delays []int32
+	// ExtraRounds widens every instance's round budget (randomized
+	// scheduling needs room for its delays).
+	ExtraRounds int
+	// SkipSetup omits the distributed w_max aggregation (used when the
+	// caller already accounts for it, e.g. when several PDE instances
+	// share one setup phase).
+	SkipSetup bool
+}
+
+// Estimate is one entry of a node's PDE output list.
+type Estimate struct {
+	// Dist is w̃d(v, Src) = b(i)·hd_i for the best instance i.
+	Dist float64
+	// Src is the detected source.
+	Src int32
+	// Via is the next hop toward Src (the real neighbor the best pair
+	// arrived from), or -1 when Src is the node itself.
+	Via int32
+	// Instance is the instance index achieving Dist.
+	Instance int
+	// Flag carries the source's metadata bits.
+	Flag uint8
+}
+
+// Instance is one level of the rounding hierarchy together with its
+// detection output (the per-instance routing table of Corollary 3.5).
+type Instance struct {
+	// Base is b(i) = (1+ε)^i.
+	Base float64
+	// Lengths[edgeID] is the subdivided length ⌈W(e)/b(i)⌉.
+	Lengths []int32
+	// Det is the (S, h', σ)-detection output on G_i.
+	Det *detection.Result
+}
+
+// Result is the full PDE output.
+type Result struct {
+	// Lists[v] holds up to σ estimates sorted by (Dist, Src): the list
+	// L_v of Definition 2.2.
+	Lists [][]Estimate
+	// Instances are the per-level tables, in increasing i.
+	Instances []*Instance
+	// HPrime is the virtual hop bound h' used on every instance.
+	HPrime int
+	// SetupRounds, BudgetRounds and ActiveRounds account the run:
+	// BudgetRounds is the deterministic bound the algorithm must be
+	// granted (the paper's round complexity); ActiveRounds is how many
+	// rounds actually carried work.
+	SetupRounds  int
+	BudgetRounds int
+	ActiveRounds int
+	// Messages and MessageBits total the real CONGEST traffic.
+	Messages    int64
+	MessageBits int64
+	// BroadcastsByNode[v] sums v's own announcements over all instances
+	// (Corollary 3.5 bounds its max by O(σ²/ε·log n)).
+	BroadcastsByNode []int64
+	// Params echoes the configuration.
+	Params Params
+}
+
+// MaxBroadcasts returns the per-node maximum of BroadcastsByNode.
+func (r *Result) MaxBroadcasts() int64 {
+	var best int64
+	for _, b := range r.BroadcastsByNode {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// Estimate returns the combined estimate w̃d(v, s) over all instances,
+// with the best instance and next hop, if s was detected at all.
+func (r *Result) Estimate(v int, s int32) (Estimate, bool) {
+	best := Estimate{Dist: math.Inf(1)}
+	found := false
+	for i, inst := range r.Instances {
+		e, ok := inst.Det.Lookup(v, s)
+		if !ok {
+			continue
+		}
+		d := float64(e.Dist) * inst.Base
+		if !found || d < best.Dist {
+			best = Estimate{Dist: d, Src: s, Via: e.Via, Instance: i, Flag: e.Flag}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Lookup returns v's output-list entry for s, if present.
+func (r *Result) Lookup(v int, s int32) (Estimate, bool) {
+	for _, e := range r.Lists[v] {
+		if e.Src == s {
+			return e, true
+		}
+	}
+	return Estimate{}, false
+}
+
+// HPrimeFor returns the virtual hop bound h' = ⌈(1+ε)²·h/ε⌉ that
+// Corollary 3.2 requires.
+func HPrimeFor(h int, eps float64) int {
+	return int(math.Ceil((1 + eps) * (1 + eps) * float64(h) / eps))
+}
+
+// NumInstances returns i_max + 1 for the given maximum weight.
+func NumInstances(maxW graph.Weight, eps float64) int {
+	if maxW <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(maxW))/math.Log(1+eps))) + 1
+}
+
+// Run executes PDE on g. It is deterministic: the same graph and
+// parameters always produce the same output, rounds and messages — the
+// derandomization claim of Theorem 4.1.
+func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
+	n := g.N()
+	if len(p.IsSource) != n {
+		return nil, fmt.Errorf("core: IsSource has %d entries for %d nodes", len(p.IsSource), n)
+	}
+	if !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 1) {
+		return nil, fmt.Errorf("core: epsilon %v must be positive and finite", p.Epsilon)
+	}
+	if p.H < 0 || p.Sigma < 0 {
+		return nil, fmt.Errorf("core: negative H=%d or Sigma=%d", p.H, p.Sigma)
+	}
+	res := &Result{
+		HPrime:           HPrimeFor(p.H, p.Epsilon),
+		BroadcastsByNode: make([]int64, n),
+		Params:           p,
+	}
+
+	// Setup: aggregate w_max over a BFS tree so every node can compute
+	// i_max locally — the +D term of Corollary 3.5.
+	maxW := g.MaxWeight()
+	if !p.SkipSetup && n > 0 {
+		tree, tm, err := congest.BuildBFSTree(g, 0, congest.Config{B: cfg.B, Parallel: cfg.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("core: setup BFS tree: %w", err)
+		}
+		local := make([]int64, n)
+		for v := 0; v < n; v++ {
+			for _, e := range g.Neighbors(v) {
+				if int64(e.W) > local[v] {
+					local[v] = int64(e.W)
+				}
+			}
+		}
+		agg, am, err := congest.Aggregate(g, tree, local, func(a, b int64) int64 { return max(a, b) }, congest.Config{B: cfg.B, Parallel: cfg.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("core: setup aggregate: %w", err)
+		}
+		if graph.Weight(agg) != maxW {
+			return nil, fmt.Errorf("core: aggregated w_max %d != %d", agg, maxW)
+		}
+		res.SetupRounds = tm.ActiveRounds + am.ActiveRounds
+		res.Messages += tm.Messages + am.Messages
+		res.MessageBits += tm.MessageBits + am.MessageBits
+	}
+
+	// The rounding hierarchy.
+	num := NumInstances(maxW, p.Epsilon)
+	res.Instances = make([]*Instance, 0, num)
+	for i := 0; i < num; i++ {
+		base := math.Pow(1+p.Epsilon, float64(i))
+		lengths := make([]int32, g.M())
+		g.Edges(func(_, _ int, w graph.Weight, id int32) {
+			l := int32(math.Ceil(float64(w) / base))
+			if l < 1 {
+				l = 1
+			}
+			lengths[id] = l
+		})
+		dp := detection.Params{
+			IsSource:    p.IsSource,
+			Flags:       p.Flags,
+			H:           res.HPrime,
+			Sigma:       p.Sigma,
+			Lengths:     lengths,
+			CapMessages: p.CapMessages,
+			Scheduling:  p.Scheduling,
+			Delays:      p.Delays,
+			ExtraRounds: p.ExtraRounds,
+		}
+		det, err := detection.Run(g, dp, congest.Config{B: cfg.B, Parallel: cfg.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("core: instance %d: %w", i, err)
+		}
+		res.Instances = append(res.Instances, &Instance{Base: base, Lengths: lengths, Det: det})
+		res.BudgetRounds += det.Budget
+		res.ActiveRounds += det.Metrics.ActiveRounds
+		res.Messages += det.Metrics.Messages
+		res.MessageBits += det.Metrics.MessageBits
+		for v := 0; v < n; v++ {
+			res.BroadcastsByNode[v] += det.SelfEmits[v]
+		}
+	}
+	res.BudgetRounds += res.SetupRounds
+
+	// Combine: w̃d(v,s) = min_i b(i)·hd_i(v,s), output the σ smallest.
+	res.Lists = make([][]Estimate, n)
+	for v := 0; v < n; v++ {
+		best := make(map[int32]Estimate)
+		for i, inst := range res.Instances {
+			for _, e := range inst.Det.Lists[v] {
+				d := float64(e.Dist) * inst.Base
+				cur, ok := best[e.Src]
+				if !ok || d < cur.Dist {
+					best[e.Src] = Estimate{Dist: d, Src: e.Src, Via: e.Via, Instance: i, Flag: e.Flag}
+				}
+			}
+		}
+		lst := make([]Estimate, 0, len(best))
+		for _, e := range best {
+			lst = append(lst, e)
+		}
+		sort.Slice(lst, func(a, b int) bool {
+			if lst[a].Dist != lst[b].Dist {
+				return lst[a].Dist < lst[b].Dist
+			}
+			return lst[a].Src < lst[b].Src
+		})
+		if len(lst) > p.Sigma {
+			lst = lst[:p.Sigma]
+		}
+		res.Lists[v] = lst
+	}
+	return res, nil
+}
+
+// APSPParams returns the Theorem 4.1 configuration: S = V, h = σ = n.
+func APSPParams(n int, eps float64) Params {
+	all := make([]bool, n)
+	for v := range all {
+		all[v] = true
+	}
+	return Params{IsSource: all, H: n, Sigma: n, Epsilon: eps, CapMessages: true}
+}

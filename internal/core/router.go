@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"pde/internal/graph"
+)
+
+// Router realizes Corollary 3.5's stateless stretch-(1+ε) routing: each
+// node keeps its per-instance detection lists, and forwards a packet for
+// source s to the recorded next hop of whichever instance currently gives
+// the smallest estimate. The estimate strictly decreases by at least the
+// traversed edge weight at every hop (the argument of Lemma 4.4), so
+// routes are loop-free and their weight is at most w̃d(v,s) ≤ (1+ε)·wd(v,s).
+type Router struct {
+	g   *graph.Graph
+	res *Result
+}
+
+// NewRouter wraps a PDE result for route evaluation.
+func NewRouter(g *graph.Graph, res *Result) *Router {
+	return &Router{g: g, res: res}
+}
+
+// NextHop returns the neighbor to which v forwards a packet destined for
+// s, and whether v has any table entry for s at all.
+func (r *Router) NextHop(v int, s int32) (int, bool) {
+	if v == int(s) {
+		return v, true
+	}
+	e, ok := r.res.Estimate(v, s)
+	if !ok || e.Via < 0 {
+		return -1, false
+	}
+	return int(e.Via), true
+}
+
+// Route is a delivered route: the node sequence and its total weight.
+type Route struct {
+	Path   []int
+	Weight graph.Weight
+}
+
+// Stretch returns Weight / exact, the route's stretch.
+func (rt *Route) Stretch(exact graph.Weight) float64 {
+	if exact == 0 {
+		return 1
+	}
+	return float64(rt.Weight) / float64(exact)
+}
+
+// Route forwards from v to s hop by hop using only local tables, exactly
+// as a packet would travel. It fails if some intermediate node has no
+// entry for s or a loop is detected (neither can happen for s in v's
+// output list; the error paths exist to surface bugs, not to be handled).
+func (r *Router) Route(v int, s int32) (*Route, error) {
+	maxSteps := r.g.N() * (len(r.res.Instances) + 2)
+	rt := &Route{Path: []int{v}}
+	cur := v
+	for steps := 0; cur != int(s); steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("core: route %d->%d exceeded %d steps (loop?)", v, s, maxSteps)
+		}
+		next, ok := r.NextHop(cur, s)
+		if !ok {
+			return nil, fmt.Errorf("core: node %d has no table entry for %d (route from %d)", cur, s, v)
+		}
+		edge, ok := r.g.EdgeBetween(cur, next)
+		if !ok {
+			return nil, fmt.Errorf("core: next hop %d is not a neighbor of %d", next, cur)
+		}
+		rt.Weight += edge.W
+		rt.Path = append(rt.Path, next)
+		cur = next
+	}
+	return rt, nil
+}
+
+// RoutingTrees returns, for each source s (by node id), the set of nodes
+// whose next hop toward s is defined, as a parent function: the trees T_s
+// of Lemma 4.4. TreeOf[s][v] = next hop of v toward s, -1 at s itself,
+// and absent when v has no entry for s.
+func (r *Router) RoutingTrees(sources []int32) map[int32]map[int]int {
+	out := make(map[int32]map[int]int, len(sources))
+	for _, s := range sources {
+		tree := make(map[int]int)
+		for v := 0; v < r.g.N(); v++ {
+			if v == int(s) {
+				tree[v] = -1
+				continue
+			}
+			if next, ok := r.NextHop(v, s); ok {
+				tree[v] = next
+			}
+		}
+		out[s] = tree
+	}
+	return out
+}

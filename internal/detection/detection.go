@@ -1,0 +1,583 @@
+// Package detection implements the (S, h, σ)-detection substrate the paper
+// builds on: the unweighted source-detection algorithm of Lenzen–Peleg [10]
+// with the paper's Lemma 3.4 message cap, generalized to run on the virtual
+// subdivided graphs G_i of §3.
+//
+// In G_i every edge e of the real network becomes a path of ℓ(e) unit
+// edges. The relay nodes of such a path are simulated by the two real
+// endpoints (each owns its half), and only the emission that crosses the
+// midpoint of the line is charged as a real CONGEST message — exactly the
+// simulation the paper's round accounting assumes. Relay cells run the same
+// detection logic as real nodes. Cells are materialized lazily, and edges
+// with ℓ(e) > h are excluded: no source within h virtual hops can be
+// detected through them, so outputs are unchanged.
+package detection
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"pde/internal/congest"
+	"pde/internal/graph"
+)
+
+// Scheduling selects which pending pair a unit announces each round.
+type Scheduling int
+
+const (
+	// LexSmallest is the paper's rule: broadcast the lexicographically
+	// smallest (distance, source) pair not yet announced, restricted to
+	// the unit's current top-σ list.
+	LexSmallest Scheduling = iota + 1
+	// FIFO is the naive flooding ablation: announce updates in arrival
+	// order with no top-σ restriction. Correct, but without the paper's
+	// message bounds.
+	FIFO
+	// Priority announces the pending pair minimizing delay(src) + dist,
+	// emulating the randomized random-delay BFS scheduling of Nanongkai
+	// [14] that the paper derandomizes.
+	Priority
+)
+
+// Params describes one (S, h, σ)-detection instance.
+type Params struct {
+	// IsSource marks the nodes of S.
+	IsSource []bool
+	// Flags carries per-source metadata bits (e.g. membership in the next
+	// sampling level, §4.3); they ride along in every message about the
+	// source. May be nil.
+	Flags []uint8
+	// H is the hop bound h, counted in virtual hops of the subdivided
+	// graph.
+	H int
+	// Sigma is σ, the number of closest sources to detect.
+	Sigma int
+	// Lengths[edgeID] is the subdivided length ℓ(e) >= 1 of each edge.
+	// Nil means all ones (plain unweighted detection on the real graph).
+	Lengths []int32
+	// CapMessages enforces the Lemma 3.4 per-unit cap of σ(σ+1)/2
+	// announcements.
+	CapMessages bool
+	// Scheduling defaults to LexSmallest.
+	Scheduling Scheduling
+	// Delays[src] is the per-source start delay for Priority scheduling.
+	// Nil means zero delays.
+	Delays []int32
+	// ExtraRounds adds slack to the H + min(σ,|S|) + 1 round budget.
+	ExtraRounds int
+}
+
+// Entry is one detected source at a node.
+type Entry struct {
+	// Dist is the virtual hop distance to the source (its weighted
+	// meaning is Dist·b(i) on instance G_i).
+	Dist int32
+	// Src is the source node.
+	Src int32
+	// Via is the real neighbor from which the best pair arrived
+	// (the next hop toward Src), or -1 for the node's own entry.
+	Via int32
+	// Flag carries the source's metadata bits.
+	Flag uint8
+}
+
+// Result is the output of one detection run.
+type Result struct {
+	// Lists[v] is v's output list: up to σ entries sorted by (Dist, Src).
+	Lists [][]Entry
+	// SelfEmits[v] counts the announcements made by v's own unit: the
+	// "broadcasts" of Lemma 3.4.
+	SelfEmits []int64
+	// Budget is the round budget the run was given.
+	Budget int
+	// Metrics is the CONGEST execution accounting.
+	Metrics *congest.Metrics
+}
+
+// Lookup returns v's entry for source s, if present.
+func (r *Result) Lookup(v int, s int32) (Entry, bool) {
+	for _, e := range r.Lists[v] {
+		if e.Src == s {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// pairMsg is the on-wire format: one (distance, source) pair plus the
+// source's flag bits.
+type pairMsg struct {
+	dist int32
+	src  int32
+	flag uint8
+}
+
+// Bits is 8 flag bits plus the minimal binary lengths of the distance and
+// source id: O(log n) as the model requires.
+func (m pairMsg) Bits() int {
+	return 8 + bits.Len32(uint32(m.dist)) + bits.Len32(uint32(m.src))
+}
+
+// entry is a unit's knowledge about one source.
+type entry struct {
+	dist     int32
+	src      int32
+	via      int32
+	flag     uint8
+	lastSent int32 // dist value last announced; -1 if never
+}
+
+// unit is one node of the virtual graph: either a real node or a relay
+// cell on a subdivided edge. Entries are kept sorted by (dist, src) and
+// capped at σ: an entry crowded out of the top σ can, by the domination
+// argument behind Lemma 3.4, never matter to this unit's neighbors.
+type unit struct {
+	entries  []entry
+	scanFrom int
+	sentCnt  int32
+	emit     pairMsg
+	hasEmit  bool
+	fifo     []int32
+}
+
+// insert merges a received pair (already incremented for the hop) and
+// reports whether anything changed.
+func (u *unit) insert(d, s int32, via int32, flag uint8, h int32, sigma int, sched Scheduling) bool {
+	if d > h {
+		return false
+	}
+	// Locate an existing entry for s.
+	for i := range u.entries {
+		if u.entries[i].src != s {
+			continue
+		}
+		if u.entries[i].dist <= d {
+			return false
+		}
+		// Improvement: remove and re-insert at the new rank.
+		e := u.entries[i]
+		e.dist = d
+		e.via = via
+		e.flag = flag
+		copy(u.entries[i:], u.entries[i+1:])
+		u.entries = u.entries[:len(u.entries)-1]
+		u.place(e, sigma)
+		if sched == FIFO {
+			u.fifo = append(u.fifo, s)
+		}
+		return true
+	}
+	e := entry{dist: d, src: s, via: via, flag: flag, lastSent: -1}
+	if !u.place(e, sigma) {
+		return false
+	}
+	if sched == FIFO {
+		u.fifo = append(u.fifo, s)
+	}
+	return true
+}
+
+// place inserts e at its sorted rank, enforcing the σ storage cap, and
+// reports whether e was retained.
+func (u *unit) place(e entry, sigma int) bool {
+	i := sort.Search(len(u.entries), func(i int) bool {
+		if u.entries[i].dist != e.dist {
+			return u.entries[i].dist > e.dist
+		}
+		return u.entries[i].src > e.src
+	})
+	if i >= sigma {
+		return false
+	}
+	u.entries = append(u.entries, entry{})
+	copy(u.entries[i+1:], u.entries[i:])
+	u.entries[i] = e
+	if len(u.entries) > sigma {
+		u.entries = u.entries[:sigma]
+	}
+	if i < u.scanFrom {
+		u.scanFrom = i
+	}
+	return true
+}
+
+// pickEmit selects this round's announcement, if any.
+func (u *unit) pickEmit(sh *shared) (pairMsg, bool) {
+	if u.sentCnt >= sh.capLimit {
+		return pairMsg{}, false
+	}
+	switch sh.sched {
+	case FIFO:
+		for len(u.fifo) > 0 {
+			s := u.fifo[0]
+			u.fifo = u.fifo[1:]
+			for i := range u.entries {
+				e := &u.entries[i]
+				if e.src != s {
+					continue
+				}
+				if e.lastSent == e.dist {
+					break // stale queue entry
+				}
+				e.lastSent = e.dist
+				u.sentCnt++
+				return pairMsg{dist: e.dist, src: e.src, flag: e.flag}, true
+			}
+		}
+		return pairMsg{}, false
+	case Priority:
+		// Announce the pending pair minimizing delay(src) + dist, the
+		// random-delay BFS order of [14].
+		best := -1
+		var bestKey int64
+		for i := range u.entries {
+			e := &u.entries[i]
+			if e.lastSent == e.dist {
+				continue
+			}
+			key := int64(e.dist)
+			if sh.p.Delays != nil {
+				key += int64(sh.p.Delays[e.src])
+			}
+			if best < 0 || key < bestKey {
+				best = i
+				bestKey = key
+			}
+		}
+		if best < 0 {
+			return pairMsg{}, false
+		}
+		e := &u.entries[best]
+		e.lastSent = e.dist
+		u.sentCnt++
+		return pairMsg{dist: e.dist, src: e.src, flag: e.flag}, true
+	default: // LexSmallest
+		limit := len(u.entries)
+		if limit > sh.sigma {
+			limit = sh.sigma
+		}
+		for i := u.scanFrom; i < limit; i++ {
+			e := &u.entries[i]
+			if e.lastSent == e.dist {
+				if i == u.scanFrom {
+					u.scanFrom++
+				}
+				continue
+			}
+			e.lastSent = e.dist
+			u.sentCnt++
+			return pairMsg{dist: e.dist, src: e.src, flag: e.flag}, true
+		}
+		return pairMsg{}, false
+	}
+}
+
+// pending reports whether the unit still has unannounced work.
+func (u *unit) pending(sh *shared) bool {
+	if u.sentCnt >= sh.capLimit {
+		return false
+	}
+	switch sh.sched {
+	case FIFO:
+		return len(u.fifo) > 0
+	case Priority:
+		for i := range u.entries {
+			if u.entries[i].lastSent != u.entries[i].dist {
+				return true
+			}
+		}
+		return false
+	default:
+		limit := len(u.entries)
+		if limit > sh.sigma {
+			limit = sh.sigma
+		}
+		for i := u.scanFrom; i < limit; i++ {
+			if u.entries[i].lastSent != u.entries[i].dist {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// shared is the run-wide immutable configuration all node procs read.
+type shared struct {
+	p        Params
+	sigma    int
+	h        int32
+	capLimit int32
+	sched    Scheduling
+}
+
+// edgeSim is one real edge's virtual line as seen from one endpoint: the
+// endpoint's own relay cells ordered by distance from it. cells[len-1] is
+// the boundary cell whose emission crosses the real edge.
+type edgeSim struct {
+	excluded bool
+	cells    []unit
+	newEmit  []pairMsg
+	newHas   []bool
+}
+
+type nodeProc struct {
+	sh      *shared
+	self    unit
+	selfNew pairMsg
+	selfHas bool
+	edges   []edgeSim
+}
+
+func (n *nodeProc) Init(ctx *congest.Ctx) {
+	v := ctx.Node()
+	n.edges = make([]edgeSim, ctx.Degree())
+	for p, e := range ctx.Neighbors() {
+		length := int32(1)
+		if n.sh.p.Lengths != nil {
+			length = n.sh.p.Lengths[e.ID]
+		}
+		es := &n.edges[p]
+		if int(length) > int(n.sh.h) {
+			es.excluded = true
+			continue
+		}
+		// Lower endpoint owns cells 1..ℓ/2 of the line; the higher owns
+		// the rest. Both sides order their cells by distance from self.
+		var own int
+		if v < e.To {
+			own = int(length) / 2
+		} else {
+			own = int(length-1) - int(length)/2
+		}
+		es.cells = make([]unit, own)
+		es.newEmit = make([]pairMsg, own)
+		es.newHas = make([]bool, own)
+	}
+	if n.sh.p.IsSource[v] {
+		var flag uint8
+		if n.sh.p.Flags != nil {
+			flag = n.sh.p.Flags[v]
+		}
+		n.self.insert(0, int32(v), -1, flag, n.sh.h, n.sh.sigma, n.sh.sched)
+	}
+	n.emitPhase(ctx)
+}
+
+func (n *nodeProc) Round(ctx *congest.Ctx) {
+	// Pass 1: integrate last round's emissions (local and real).
+	for _, in := range ctx.In() {
+		m := in.Msg.(pairMsg)
+		es := &n.edges[in.Port]
+		if es.excluded {
+			continue
+		}
+		if len(es.cells) == 0 {
+			n.self.insert(m.dist+1, m.src, int32(in.From), m.flag, n.sh.h, n.sh.sigma, n.sh.sched)
+		} else {
+			es.cells[len(es.cells)-1].insert(m.dist+1, m.src, -1, m.flag, n.sh.h, n.sh.sigma, n.sh.sched)
+		}
+	}
+	for p := range n.edges {
+		es := &n.edges[p]
+		if es.excluded || len(es.cells) == 0 {
+			continue
+		}
+		via := int32(ctx.Neighbors()[p].To)
+		// Cell 0's emission feeds self; self's emission feeds cell 0;
+		// cell j's emission feeds cells j-1 and j+1.
+		if es.cells[0].hasEmit {
+			m := es.cells[0].emit
+			n.self.insert(m.dist+1, m.src, via, m.flag, n.sh.h, n.sh.sigma, n.sh.sched)
+		}
+		if n.self.hasEmit {
+			m := n.self.emit
+			es.cells[0].insert(m.dist+1, m.src, -1, m.flag, n.sh.h, n.sh.sigma, n.sh.sched)
+		}
+		for j := 1; j < len(es.cells); j++ {
+			if es.cells[j].hasEmit {
+				m := es.cells[j].emit
+				es.cells[j-1].insert(m.dist+1, m.src, -1, m.flag, n.sh.h, n.sh.sigma, n.sh.sched)
+			}
+			if es.cells[j-1].hasEmit {
+				m := es.cells[j-1].emit
+				es.cells[j].insert(m.dist+1, m.src, -1, m.flag, n.sh.h, n.sh.sigma, n.sh.sched)
+			}
+		}
+	}
+	// Self emissions that go directly over zero-cell edges arrive as real
+	// messages (handled above); nothing else to integrate.
+	n.emitPhase(ctx)
+}
+
+// emitPhase computes this round's emissions into fresh buffers, sends the
+// boundary crossings as real messages, then publishes the buffers for the
+// neighbors' next round.
+func (n *nodeProc) emitPhase(ctx *congest.Ctx) {
+	sh := n.sh
+	n.selfNew, n.selfHas = n.self.pickEmit(sh)
+	for p := range n.edges {
+		es := &n.edges[p]
+		if es.excluded {
+			continue
+		}
+		for j := range es.cells {
+			es.newEmit[j], es.newHas[j] = es.cells[j].pickEmit(sh)
+		}
+		// The boundary emission crosses the real edge: it is the last
+		// cell's, or self's when this side owns no cells.
+		if len(es.cells) == 0 {
+			if n.selfHas {
+				ctx.Send(p, n.selfNew)
+			}
+		} else if es.newHas[len(es.cells)-1] {
+			ctx.Send(p, es.newEmit[len(es.cells)-1])
+		}
+	}
+	// Publish and decide wake-up.
+	wake := false
+	n.self.emit, n.self.hasEmit = n.selfNew, n.selfHas
+	if n.selfHas || n.self.pending(sh) {
+		wake = true
+	}
+	for p := range n.edges {
+		es := &n.edges[p]
+		for j := range es.cells {
+			es.cells[j].emit, es.cells[j].hasEmit = es.newEmit[j], es.newHas[j]
+			if es.newHas[j] || es.cells[j].pending(sh) {
+				wake = true
+			}
+		}
+	}
+	if wake {
+		ctx.WakeNext()
+	}
+}
+
+// Budget returns the round budget detection uses for the given instance:
+// h + min(σ, |S|) + 1 plus any configured slack — the R(h, σ) bound of
+// [10] that Theorem 3.3 plugs in.
+func Budget(p Params) int {
+	nsrc := 0
+	for _, s := range p.IsSource {
+		if s {
+			nsrc++
+		}
+	}
+	return p.H + min(p.Sigma, nsrc) + 1 + p.ExtraRounds
+}
+
+// Run executes one (S, h, σ)-detection instance and returns each node's
+// output list.
+func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
+	n := g.N()
+	if len(p.IsSource) != n {
+		return nil, fmt.Errorf("detection: IsSource has %d entries for %d nodes", len(p.IsSource), n)
+	}
+	if p.Flags != nil && len(p.Flags) != n {
+		return nil, fmt.Errorf("detection: Flags has %d entries for %d nodes", len(p.Flags), n)
+	}
+	if p.H < 0 || p.Sigma < 0 {
+		return nil, fmt.Errorf("detection: negative H=%d or Sigma=%d", p.H, p.Sigma)
+	}
+	if p.Lengths != nil {
+		if len(p.Lengths) != g.M() {
+			return nil, fmt.Errorf("detection: Lengths has %d entries for %d edges", len(p.Lengths), g.M())
+		}
+		for id, l := range p.Lengths {
+			if l < 1 {
+				return nil, fmt.Errorf("detection: edge %d has non-positive length %d", id, l)
+			}
+		}
+	}
+	sched := p.Scheduling
+	if sched == 0 {
+		sched = LexSmallest
+	}
+	capLimit := int32(1) << 30
+	if p.CapMessages {
+		capLimit = int32(p.Sigma) * int32(p.Sigma+1) / 2
+	}
+	sh := &shared{p: p, sigma: p.Sigma, h: int32(p.H), capLimit: capLimit, sched: sched}
+
+	procs := make([]congest.Proc, n)
+	states := make([]nodeProc, n)
+	for v := 0; v < n; v++ {
+		states[v] = nodeProc{sh: sh}
+		procs[v] = &states[v]
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = Budget(p)
+	}
+	met, err := congest.Run(g, procs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Lists:     make([][]Entry, n),
+		SelfEmits: make([]int64, n),
+		Budget:    cfg.MaxRounds,
+		Metrics:   met,
+	}
+	for v := 0; v < n; v++ {
+		u := &states[v].self
+		lst := make([]Entry, 0, len(u.entries))
+		for _, e := range u.entries {
+			lst = append(lst, Entry{Dist: e.dist, Src: e.src, Via: e.via, Flag: e.flag})
+		}
+		res.Lists[v] = lst
+		res.SelfEmits[v] = int64(u.sentCnt)
+	}
+	return res, nil
+}
+
+// BruteForce computes the exact (S, h, σ)-detection answer centrally, for
+// verification: virtual hop distances are shortest paths under the edge
+// lengths. Entries carry Via = -1 (routing is not part of the spec).
+func BruteForce(g *graph.Graph, p Params) [][]Entry {
+	n := g.N()
+	lengths := func(id int32) graph.Weight {
+		if p.Lengths == nil {
+			return 1
+		}
+		return graph.Weight(p.Lengths[id])
+	}
+	// Rebuild the graph with the virtual lengths as weights; shortest
+	// paths in it are virtual hop distances.
+	b := graph.NewBuilder(n)
+	g.Edges(func(u, v int, _ graph.Weight, id int32) {
+		b.AddEdge(u, v, lengths(id))
+	})
+	vg := b.MustBuild()
+	lists := make([][]Entry, n)
+	for v := range lists {
+		lists[v] = []Entry{}
+	}
+	for s := 0; s < n; s++ {
+		if !p.IsSource[s] {
+			continue
+		}
+		var flag uint8
+		if p.Flags != nil {
+			flag = p.Flags[s]
+		}
+		sp := graph.Dijkstra(vg, s)
+		for v := 0; v < n; v++ {
+			if sp.Dist[v] <= graph.Weight(p.H) {
+				lists[v] = append(lists[v], Entry{Dist: int32(sp.Dist[v]), Src: int32(s), Via: -1, Flag: flag})
+			}
+		}
+	}
+	for v := range lists {
+		sort.Slice(lists[v], func(i, j int) bool {
+			if lists[v][i].Dist != lists[v][j].Dist {
+				return lists[v][i].Dist < lists[v][j].Dist
+			}
+			return lists[v][i].Src < lists[v][j].Src
+		})
+		if len(lists[v]) > p.Sigma {
+			lists[v] = lists[v][:p.Sigma]
+		}
+	}
+	return lists
+}

@@ -1,0 +1,97 @@
+package detection
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pde/internal/congest"
+	"pde/internal/graph"
+)
+
+// Property-based verification: for arbitrary random graphs, source sets,
+// subdivided lengths, h and σ, the distributed algorithm's output equals
+// the centralized answer exactly.
+
+func TestPropertyDetectionMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(26)
+		g := graph.RandomConnected(n, 0.05+rng.Float64()*0.2, graph.Weight(1+rng.Intn(8)), rng)
+		src := make([]bool, n)
+		nsrc := 0
+		for v := range src {
+			if rng.Float64() < 0.4 {
+				src[v] = true
+				nsrc++
+			}
+		}
+		if nsrc == 0 {
+			src[rng.Intn(n)] = true
+		}
+		var lengths []int32
+		if rng.Intn(2) == 0 {
+			lengths = make([]int32, g.M())
+			g.Edges(func(_, _ int, w graph.Weight, id int32) {
+				lengths[id] = int32(w)
+			})
+		}
+		p := Params{
+			IsSource:    src,
+			H:           1 + rng.Intn(3*n),
+			Sigma:       1 + rng.Intn(n),
+			Lengths:     lengths,
+			CapMessages: rng.Intn(2) == 0,
+		}
+		res, err := Run(g, p, congest.Config{})
+		if err != nil {
+			return false
+		}
+		want := BruteForce(g, p)
+		for v := range want {
+			if len(res.Lists[v]) != len(want[v]) {
+				return false
+			}
+			for i := range want[v] {
+				if res.Lists[v][i].Dist != want[v][i].Dist || res.Lists[v][i].Src != want[v][i].Src {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMessageCapNeverExceeded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		g := graph.RandomConnected(n, 0.1+rng.Float64()*0.15, graph.Weight(1+rng.Intn(6)), rng)
+		src := make([]bool, n)
+		for v := 0; v < n; v += 1 + rng.Intn(3) {
+			src[v] = true
+		}
+		sigma := 1 + rng.Intn(8)
+		lengths := make([]int32, g.M())
+		g.Edges(func(_, _ int, w graph.Weight, id int32) { lengths[id] = int32(w) })
+		res, err := Run(g, Params{
+			IsSource: src, H: 2 * n, Sigma: sigma, Lengths: lengths, CapMessages: true,
+		}, congest.Config{})
+		if err != nil {
+			return false
+		}
+		capLimit := int64(sigma) * int64(sigma+1) / 2
+		for _, c := range res.SelfEmits {
+			if c > capLimit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

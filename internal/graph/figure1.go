@@ -1,0 +1,82 @@
+package graph
+
+import "fmt"
+
+// Figure1 is the paper's lower-bound gadget (Figure 1), on which
+// (S, h+1, σ)-detection cannot be solved in o(h·σ) rounds: all σ·h
+// (source, distance) pairs that the u-nodes must output have to traverse
+// the single dashed edge {u_1, v_h}.
+//
+// Construction, following the figure's caption: chains u_1..u_h and
+// v_1..v_h of weight-1 edges, the dashed edge {u_1, v_h} of weight 1, and
+// σ sources s_{i,1}..s_{i,σ} attached to each v_i with edges of weight
+// 4·i·h. Node u_i's σ closest sources within h+1 hops are exactly column
+// i: sources in columns i' < i are more than h+1 hops away, and sources in
+// columns i' > i are heavier by ≈ 4h per column.
+type Figure1 struct {
+	G *Graph
+	// H and Sigma are the gadget parameters (h columns, σ sources each).
+	H, Sigma int
+	// Sources lists all σ·h source nodes, column-major.
+	Sources []int
+	// UNode[i] is u_{i+1} and VNode[i] is v_{i+1} for i in [0, h).
+	UNode, VNode []int
+}
+
+// NewFigure1 builds the gadget for the given h >= 1 and σ >= 1.
+func NewFigure1(h, sigma int) *Figure1 {
+	if h < 1 || sigma < 1 {
+		panic(fmt.Sprintf("graph: figure1 requires h, sigma >= 1; got h=%d sigma=%d", h, sigma))
+	}
+	// Layout: u_1..u_h are 0..h-1; v_1..v_h are h..2h-1;
+	// s_{i,j} is 2h + (i-1)*sigma + (j-1).
+	n := 2*h + h*sigma
+	f := &Figure1{
+		H:     h,
+		Sigma: sigma,
+		UNode: make([]int, h),
+		VNode: make([]int, h),
+	}
+	for i := 0; i < h; i++ {
+		f.UNode[i] = i
+		f.VNode[i] = h + i
+	}
+	b := NewBuilder(n)
+	for i := 0; i+1 < h; i++ {
+		b.AddEdge(f.UNode[i], f.UNode[i+1], 1)
+		b.AddEdge(f.VNode[i], f.VNode[i+1], 1)
+	}
+	// The dashed bottleneck edge.
+	b.AddEdge(f.UNode[0], f.VNode[h-1], 1)
+	f.Sources = make([]int, 0, h*sigma)
+	for i := 1; i <= h; i++ {
+		for j := 1; j <= sigma; j++ {
+			s := 2*h + (i-1)*sigma + (j - 1)
+			f.Sources = append(f.Sources, s)
+			b.AddEdge(f.VNode[i-1], s, Weight(4*i*h))
+		}
+	}
+	f.G = b.MustBuild()
+	return f
+}
+
+// Column returns the source nodes attached to v_i (1-based column index).
+func (f *Figure1) Column(i int) []int {
+	if i < 1 || i > f.H {
+		panic(fmt.Sprintf("graph: figure1 column %d out of range [1,%d]", i, f.H))
+	}
+	start := (i - 1) * f.Sigma
+	return f.Sources[start : start+f.Sigma]
+}
+
+// ExpectedList returns, for u_i (1-based), the exact (S, h+1, σ)-detection
+// answer: the sources of column i with their true weighted distances,
+// sorted by (distance, id). All σ sources of column i are at distance
+// h + 4·i·h from u_i via exactly h+1 hops.
+func (f *Figure1) ExpectedList(i int) (sources []int, dist Weight) {
+	col := f.Column(i)
+	out := make([]int, len(col))
+	copy(out, col)
+	// Column nodes are allocated in increasing id order already.
+	return out, Weight(f.H + 4*i*f.H)
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the graph in a line-oriented text format:
+//
+//	pde-graph v1
+//	<n> <m>
+//	<u> <v> <w>     (one line per undirected edge, u < v)
+//
+// The format is stable and diff-friendly; edge ids are assigned by line
+// order on read, matching Builder semantics.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "pde-graph v1\n%d %d\n", g.N(), g.M())); err != nil {
+		return total, err
+	}
+	var werr error
+	g.Edges(func(u, v int, wt Weight, _ int32) {
+		if werr != nil {
+			return
+		}
+		werr = count(fmt.Fprintf(bw, "%d %d %d\n", u, v, wt))
+	})
+	if werr != nil {
+		return total, werr
+	}
+	return total, bw.Flush()
+}
+
+// Read parses the WriteTo format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" && !strings.HasPrefix(s, "#") {
+				return s, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	head, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if head != "pde-graph v1" {
+		return nil, fmt.Errorf("graph: unsupported header %q", head)
+	}
+	dims, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading dimensions: %w", err)
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(dims, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad dimensions %q: %w", dims, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative dimensions %d, %d", n, m)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		ln, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d of %d: %w", i+1, m, err)
+		}
+		parts := strings.Fields(ln)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("graph: edge line %q must be 'u v w'", ln)
+		}
+		u, err1 := strconv.Atoi(parts[0])
+		v, err2 := strconv.Atoi(parts[1])
+		w, err3 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q", ln)
+		}
+		b.AddEdge(u, v, w)
+	}
+	return b.Build()
+}
+
+// Equal reports whether two graphs have identical node counts, edge sets
+// and weights.
+func Equal(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	same := true
+	a.Edges(func(u, v int, w Weight, _ int32) {
+		e, ok := b.EdgeBetween(u, v)
+		if !ok || e.W != w {
+			same = false
+		}
+	})
+	return same
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomConnected(35, 0.12, 40, rng)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, got) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestPropertyIORoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := RandomConnected(n, rng.Float64()*0.3, Weight(1+rng.Intn(100)), rng)
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return Equal(g, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"bad-header":  "nope v9\n1 0\n",
+		"no-dims":     "pde-graph v1\n",
+		"neg-dims":    "pde-graph v1\n-1 0\n",
+		"short-edges": "pde-graph v1\n3 2\n0 1 5\n",
+		"bad-edge":    "pde-graph v1\n3 1\n0 x 5\n",
+		"extra-field": "pde-graph v1\n3 1\n0 1 5 9\n",
+		"self-loop":   "pde-graph v1\n3 1\n1 1 5\n",
+		"zero-weight": "pde-graph v1\n3 1\n0 1 0\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(in)); err == nil {
+				t.Fatalf("Read accepted malformed input %q", in)
+			}
+		})
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\npde-graph v1\n\n2 1\n# edge below\n0 1 7\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.EdgeBetween(0, 1)
+	if !ok || e.W != 7 {
+		t.Fatalf("parsed edge %+v, %v", e, ok)
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	a := NewBuilder(2).AddEdge(0, 1, 3).MustBuild()
+	b := NewBuilder(2).AddEdge(0, 1, 4).MustBuild()
+	c := NewBuilder(3).AddEdge(0, 1, 3).MustBuild()
+	if Equal(a, b) || Equal(a, c) {
+		t.Fatal("Equal missed a difference")
+	}
+	if !Equal(a, NewBuilder(2).AddEdge(1, 0, 3).MustBuild()) {
+		t.Fatal("Equal must ignore edge orientation")
+	}
+}

@@ -1,0 +1,180 @@
+package rtc
+
+import (
+	"fmt"
+	"math"
+
+	"pde/internal/graph"
+)
+
+// Route is one delivered packet's trajectory.
+type Route struct {
+	Path   []int
+	Weight graph.Weight
+	// Legs counts hops spent in each phase: short-range, long-range
+	// (toward the skeleton / along the spanner), and tree descent.
+	ShortHops, LongHops, TreeHops int
+}
+
+// Stretch returns Weight / exact.
+func (r *Route) Stretch(exact graph.Weight) float64 {
+	if exact == 0 {
+		return 1
+	}
+	return float64(r.Weight) / float64(exact)
+}
+
+// spanDist returns the globally-known spanner distance between two
+// skeleton nodes (by H index).
+func (sch *Scheme) spanDist(i, j int) graph.Weight {
+	return sch.SpanSP[j].Dist[i]
+}
+
+// phi is the long-range potential of x for destination skeleton node
+// target (H index): min over x's skeleton-table entries t of
+// wd'_S(x,t) + spannerDist(t, target). It also returns the argmin entry.
+func (sch *Scheme) phi(x int, target int) (float64, int32, bool) {
+	best := math.Inf(1)
+	var bestT int32 = -1
+	for _, e := range sch.B.Lists[x] {
+		j, ok := sch.SkelIndex[e.Src]
+		if !ok {
+			continue
+		}
+		sd := sch.spanDist(j, target)
+		if sd == graph.Infinity {
+			continue
+		}
+		val := e.Dist + float64(sd)
+		if val < best || (val == best && e.Src < bestT) {
+			best = val
+			bestT = e.Src
+		}
+	}
+	return best, bestT, bestT >= 0
+}
+
+// NextHop is the stateless forwarding function: given the local tables of
+// x and the destination label, produce the neighbor to forward to. The
+// phase of the decision is returned for accounting (1 = short, 2 = long,
+// 3 = tree).
+func (sch *Scheme) NextHop(x int, dst Label) (int, int, error) {
+	w := int(dst.Node)
+	if x == w {
+		return x, 0, nil
+	}
+	// (a) Short range: w is in x's (V,h,σ) tables.
+	if next, ok := sch.routerA.NextHop(x, dst.Node); ok && next != x {
+		return next, 1, nil
+	}
+	// (b) Tree descent: x is an ancestor of w in T_{s'_w}.
+	if tree, ok := sch.Trees[dst.Skel]; ok {
+		if lx, in := tree.Labels[x]; in && lx.Contains(dst.Tree) {
+			next, err := tree.NextHop(x, dst.Tree)
+			if err != nil {
+				return 0, 0, fmt.Errorf("rtc: tree descent at %d: %w", x, err)
+			}
+			return next, 3, nil
+		}
+	}
+	// (c) Long range: one potential-decreasing step toward s'_w.
+	target, ok := sch.SkelIndex[dst.Skel]
+	if !ok {
+		return 0, 0, fmt.Errorf("rtc: destination skeleton %d unknown", dst.Skel)
+	}
+	_, bestT, ok := sch.phi(x, target)
+	if !ok {
+		return 0, 0, fmt.Errorf("rtc: node %d has no finite potential for skeleton %d", x, dst.Skel)
+	}
+	if int(bestT) == x {
+		// x is a skeleton node and itself the argmin: advance along the
+		// spanner shortest path toward s'_w, routing to the next spanner
+		// node via the skeleton tables.
+		i := sch.SkelIndex[int32(x)]
+		nextSkel := sch.nextSpannerHop(i, target)
+		if nextSkel < 0 {
+			return 0, 0, fmt.Errorf("rtc: no spanner path from %d to skeleton %d", x, dst.Skel)
+		}
+		next, ok := sch.routerB.NextHop(x, sch.Skeleton[nextSkel])
+		if !ok {
+			return 0, 0, fmt.Errorf("rtc: skeleton %d cannot route spanner edge to %d", x, sch.Skeleton[nextSkel])
+		}
+		return next, 2, nil
+	}
+	next, ok := sch.routerB.NextHop(x, bestT)
+	if !ok || next == x {
+		return 0, 0, fmt.Errorf("rtc: node %d cannot route toward skeleton %d", x, bestT)
+	}
+	return next, 2, nil
+}
+
+// nextSpannerHop returns the H index of the next skeleton node on the
+// spanner shortest path from i to target (both H indices), or -1.
+func (sch *Scheme) nextSpannerHop(i, target int) int {
+	if i == target {
+		return i
+	}
+	// SpanSP[target] holds parents pointing toward target.
+	p := sch.SpanSP[target].Parent[i]
+	if p < 0 {
+		return -1
+	}
+	return int(p)
+}
+
+// Route delivers a packet from v to the node labeled dst, walking the
+// stateless forwarding function.
+func (sch *Scheme) Route(v int, dst Label) (*Route, error) {
+	maxSteps := 4 * sch.G.N() * (len(sch.B.Instances) + 2)
+	rt := &Route{Path: []int{v}}
+	cur := v
+	for steps := 0; cur != int(dst.Node); steps++ {
+		if steps > maxSteps {
+			return nil, fmt.Errorf("rtc: route %d->%d exceeded %d steps", v, dst.Node, maxSteps)
+		}
+		next, phase, err := sch.NextHop(cur, dst)
+		if err != nil {
+			return nil, err
+		}
+		edge, ok := sch.G.EdgeBetween(cur, next)
+		if !ok {
+			return nil, fmt.Errorf("rtc: hop %d->%d is not an edge", cur, next)
+		}
+		switch phase {
+		case 1:
+			rt.ShortHops++
+		case 2:
+			rt.LongHops++
+		case 3:
+			rt.TreeHops++
+		}
+		rt.Weight += edge.W
+		rt.Path = append(rt.Path, next)
+		cur = next
+	}
+	return rt, nil
+}
+
+// DistEstimate answers a distance query from v's tables for destination
+// dst, without communication (§2.4): the better of the short-range
+// estimate and the long-range potential plus the label's skeleton leg.
+func (sch *Scheme) DistEstimate(v int, dst Label) (float64, error) {
+	if v == int(dst.Node) {
+		return 0, nil
+	}
+	best := math.Inf(1)
+	if e, ok := sch.A.Estimate(v, dst.Node); ok {
+		best = e.Dist
+	}
+	if target, ok := sch.SkelIndex[dst.Skel]; ok {
+		if p, _, ok := sch.phi(v, target); ok {
+			if val := p + dst.DistToSkel; val < best {
+				best = val
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("rtc: node %d has no estimate for %d", v, dst.Node)
+	}
+	return best, nil
+}

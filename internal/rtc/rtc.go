@@ -1,0 +1,428 @@
+// Package rtc implements Theorem 4.5: routing table construction with node
+// relabeling, stretch 6k−1+o(1), O(log n)-bit labels, in
+// Õ(n^{1/2+1/(4k)} + D) rounds.
+//
+// The construction follows §4.2:
+//
+//  1. sample a skeleton S with probability p = n^{-1/2-1/(4k)} per node;
+//  2. solve (1+ε)-approximate (V, h, σ)-estimation with h = σ = c·ln n/p
+//     (short-range tables, with skeleton membership flagged in messages);
+//  3. solve (1+ε)-approximate (S, h, |S|)-estimation (skeleton tables);
+//  4. build the skeleton graph on S from the detected pairs and construct
+//     a Baswana–Sen (2k−1)-spanner of it, made globally known;
+//  5. label every node for tree routing on the tree T_{s'_v} of PDE routes
+//     toward its nearest skeleton node s'_v.
+//
+// Routing to λ(w) is stateless: use the short-range table if w is in it;
+// descend T_{s'_w} once inside it; otherwise take one step toward the
+// skeleton node minimizing Φ(x) = wd'_S(x,t) + spannerDist(t, s'_w), a
+// potential that strictly decreases every hop.
+//
+// Two deliberate substitutions versus the paper's letter, both recorded in
+// DESIGN.md: s'_v is the nearest skeleton node under the skeleton-instance
+// estimates (the (V,h,σ) instance's flagged entries give the same node
+// w.h.p., and the skeleton instance guarantees v can route to it), and
+// skeleton-graph weights are ⌈estimate⌉ so the overlay stays integral —
+// both preserve every asymptotic bound.
+package rtc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/spanner"
+	"pde/internal/treelabel"
+)
+
+// Params configures a Theorem 4.5 construction.
+type Params struct {
+	// K is the stretch parameter: routes have stretch at most 6k−1+o(1).
+	K int
+	// Epsilon is the PDE slack (the paper uses 1/log n; any ε ∈ o(1/1)
+	// only shifts the o(1) term).
+	Epsilon float64
+	// C scales h = σ = C·ln(n)/p. Larger C sharpens the w.h.p.
+	// guarantees at small n.
+	C float64
+	// SampleProb overrides the skeleton sampling probability
+	// p = n^{-1/2-1/(4k)} when positive (experiments use it to force the
+	// long-range machinery at simulable scale).
+	SampleProb float64
+	// HOverride / SigmaOverride replace h and σ when positive.
+	HOverride, SigmaOverride int
+	// Seed drives skeleton sampling and the spanner.
+	Seed int64
+}
+
+// Label is the O(log n)-bit relabeling of one node: its id, its nearest
+// skeleton node with the distance estimate, and its tree-routing label in
+// T_{s'_v}.
+type Label struct {
+	Node       int32
+	Skel       int32
+	DistToSkel float64
+	Tree       treelabel.Label
+}
+
+// Bits returns the label's encoded size: 2 node ids, one distance, one
+// tree label — O(log n).
+func (l Label) Bits(n int, maxDist float64) int {
+	idBits := 1
+	for 1<<idBits < n {
+		idBits++
+	}
+	distBits := 1
+	for float64(int64(1)<<distBits) < maxDist+1 {
+		distBits++
+	}
+	return 2*idBits + distBits + l.Tree.Bits(n)
+}
+
+// RoundBreakdown itemizes the construction cost in CONGEST rounds.
+type RoundBreakdown struct {
+	ShortRangePDE int // (V, h, σ)-estimation budget
+	SkeletonPDE   int // (S, h, |S|)-estimation budget
+	Spanner       int // modeled Baswana–Sen simulation + broadcast
+	TreeLabeling  int // multiplexed two-sweep labelings
+	Total         int
+}
+
+// Scheme is a built routing scheme: the per-node tables plus the global
+// knowledge (spanner) every node shares.
+type Scheme struct {
+	G        *graph.Graph
+	K        int
+	Eps      float64
+	Skeleton []int32
+	InSkel   []bool
+	// A is the short-range (V, h, σ) PDE result; B the skeleton
+	// (S, h, |S|) result.
+	A, B *core.Result
+	// H is the skeleton graph on re-indexed nodes; SkelIndex maps node
+	// id to H index and Skeleton maps back.
+	H         *graph.Graph
+	SkelIndex map[int32]int
+	// Span is the (2k−1)-spanner of H; SpanSP holds, per H index, the
+	// shortest-path tree of the spanner subgraph (globally computable
+	// since the spanner is broadcast).
+	Span   *spanner.Result
+	SpanSP []*graph.SSSP
+	// Trees and TreeOf: tree routing structures per skeleton node.
+	Trees map[int32]*treelabel.Labeling
+	// Labels[v] is λ(v).
+	Labels []Label
+	Rounds RoundBreakdown
+	// routers reused for hop decisions.
+	routerA, routerB *core.Router
+}
+
+// Build constructs the scheme.
+func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("rtc: empty graph")
+	}
+	if p.K < 1 {
+		return nil, fmt.Errorf("rtc: k=%d must be >= 1", p.K)
+	}
+	if !(p.Epsilon > 0) {
+		return nil, fmt.Errorf("rtc: epsilon must be positive")
+	}
+	if p.C <= 0 {
+		p.C = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// 1. Skeleton sampling.
+	prob := p.SampleProb
+	if prob <= 0 {
+		prob = math.Pow(float64(n), -0.5-1.0/(4.0*float64(p.K)))
+	}
+	sch := &Scheme{G: g, K: p.K, Eps: p.Epsilon, InSkel: make([]bool, n)}
+	for v := 0; v < n; v++ {
+		if rng.Float64() < prob {
+			sch.InSkel[v] = true
+			sch.Skeleton = append(sch.Skeleton, int32(v))
+		}
+	}
+	if len(sch.Skeleton) == 0 {
+		// The paper assumes S != ∅ (w.h.p.); at tiny n force one node.
+		sch.InSkel[0] = true
+		sch.Skeleton = []int32{0}
+	}
+	sch.SkelIndex = make(map[int32]int, len(sch.Skeleton))
+	for i, s := range sch.Skeleton {
+		sch.SkelIndex[s] = i
+	}
+
+	// 2. Short-range PDE: (V, h, σ) with skeleton flags.
+	h := p.HOverride
+	if h <= 0 {
+		h = int(math.Ceil(p.C * math.Log(float64(n)+1) / prob))
+	}
+	if h > n {
+		h = n
+	}
+	sigma := p.SigmaOverride
+	if sigma <= 0 {
+		sigma = h
+	}
+	if sigma > n {
+		sigma = n
+	}
+	all := make([]bool, n)
+	flags := make([]uint8, n)
+	for v := 0; v < n; v++ {
+		all[v] = true
+		if sch.InSkel[v] {
+			flags[v] = 1
+		}
+	}
+	var err error
+	sch.A, err = core.Run(g, core.Params{
+		IsSource: all, Flags: flags, H: h, Sigma: sigma,
+		Epsilon: p.Epsilon, CapMessages: true,
+	}, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rtc: short-range PDE: %w", err)
+	}
+
+	// 3. Skeleton PDE: (S, h, |S|).
+	isSkel := make([]bool, n)
+	copy(isSkel, sch.InSkel)
+	sch.B, err = core.Run(g, core.Params{
+		IsSource: isSkel, H: h, Sigma: len(sch.Skeleton),
+		Epsilon: p.Epsilon, CapMessages: true, SkipSetup: true,
+	}, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rtc: skeleton PDE: %w", err)
+	}
+
+	// 4. Skeleton graph and spanner.
+	if err := sch.buildSkeletonGraph(); err != nil {
+		return nil, err
+	}
+	sch.Span, err = spanner.BaswanaSen(sch.H, p.K, rng)
+	if err != nil {
+		return nil, fmt.Errorf("rtc: spanner: %w", err)
+	}
+	d := graph.HopDiameter(g)
+	if d < 0 {
+		return nil, fmt.Errorf("rtc: graph is disconnected")
+	}
+	sch.Rounds.Spanner = sch.Span.ModelSimRounds(len(sch.Skeleton), d)
+	sub, err := sch.Span.Subgraph(sch.H.N())
+	if err != nil {
+		return nil, fmt.Errorf("rtc: spanner subgraph: %w", err)
+	}
+	sch.SpanSP = make([]*graph.SSSP, sch.H.N())
+	for i := 0; i < sch.H.N(); i++ {
+		sch.SpanSP[i] = graph.Dijkstra(sub, i)
+	}
+
+	// 5. Trees and labels.
+	sch.routerA = core.NewRouter(g, sch.A)
+	sch.routerB = core.NewRouter(g, sch.B)
+	if err := sch.buildTreesAndLabels(); err != nil {
+		return nil, err
+	}
+
+	sch.Rounds.ShortRangePDE = sch.A.BudgetRounds
+	sch.Rounds.SkeletonPDE = sch.B.BudgetRounds
+	sch.Rounds.Total = sch.Rounds.ShortRangePDE + sch.Rounds.SkeletonPDE +
+		sch.Rounds.Spanner + sch.Rounds.TreeLabeling
+	return sch, nil
+}
+
+// buildSkeletonGraph assembles H from the detected skeleton pairs: an edge
+// {s,t} whenever both endpoints detected each other (σ = |S| means
+// detection is mutual), weighted by the larger of the two rounded-up
+// estimates. Using the max keeps every skeleton node's own estimate at or
+// below the edge weight, which the long-range potential argument needs.
+func (sch *Scheme) buildSkeletonGraph() error {
+	b := graph.NewBuilder(len(sch.Skeleton))
+	type pair struct{ i, j int }
+	seen := make(map[pair]graph.Weight) // first direction's weight
+	both := make(map[pair]graph.Weight) // max of the two directions
+	for _, s := range sch.Skeleton {
+		i := sch.SkelIndex[s]
+		for _, e := range sch.B.Lists[s] {
+			if e.Src == s {
+				continue
+			}
+			j, ok := sch.SkelIndex[e.Src]
+			if !ok {
+				return fmt.Errorf("rtc: non-skeleton source %d in skeleton PDE", e.Src)
+			}
+			key := pair{min(i, j), max(i, j)}
+			w := graph.Weight(math.Ceil(e.Dist))
+			if w < 1 {
+				w = 1
+			}
+			if first, ok := seen[key]; ok {
+				both[key] = max(first, w)
+			} else {
+				seen[key] = w
+			}
+		}
+	}
+	keys := make([]pair, 0, len(both))
+	for k := range both {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].i != keys[b].i {
+			return keys[a].i < keys[b].i
+		}
+		return keys[a].j < keys[b].j
+	})
+	for _, k := range keys {
+		b.AddEdge(k.i, k.j, both[k])
+	}
+	var err error
+	sch.H, err = b.Build()
+	if err != nil {
+		return fmt.Errorf("rtc: skeleton graph: %w", err)
+	}
+	return nil
+}
+
+// nearestSkeleton returns s'_v: the skeleton node minimizing
+// (wd'_S(v,s), s) in v's skeleton tables.
+func (sch *Scheme) nearestSkeleton(v int) (core.Estimate, bool) {
+	if len(sch.B.Lists[v]) == 0 {
+		return core.Estimate{}, false
+	}
+	return sch.B.Lists[v][0], true
+}
+
+// buildTreesAndLabels builds T_s for every skeleton node that some node
+// labeled itself with, labels the trees, and assembles λ(v).
+func (sch *Scheme) buildTreesAndLabels() error {
+	n := sch.G.N()
+	sch.Labels = make([]Label, n)
+	needed := make(map[int32]bool)
+	for v := 0; v < n; v++ {
+		e, ok := sch.nearestSkeleton(v)
+		if !ok {
+			return fmt.Errorf("rtc: node %d detected no skeleton node; increase C", v)
+		}
+		sch.Labels[v] = Label{Node: int32(v), Skel: e.Src, DistToSkel: e.Dist}
+		needed[e.Src] = true
+	}
+	// T_s is Lemma 4.4's tree: the union of the PDE routing paths from
+	// every v with s'_v = s to s (not every node that detected s). The
+	// per-instance invariant guarantees each walked node can forward, so
+	// the union is a tree rooted at s.
+	sch.Trees = make(map[int32]*treelabel.Labeling, len(needed))
+	order := make([]int32, 0, len(needed))
+	for s := range needed {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	treesPerNode := make([]int, n)
+	maxDepth := 0
+	for _, s := range order {
+		parent := map[int]int{int(s): -1}
+		for v := 0; v < n; v++ {
+			if sch.Labels[v].Skel != s || v == int(s) {
+				continue
+			}
+			for cur := v; cur != int(s); {
+				if _, done := parent[cur]; done {
+					break
+				}
+				next, ok := sch.routerB.NextHop(cur, s)
+				if !ok {
+					return fmt.Errorf("rtc: node %d cannot reach its skeleton node %d", cur, s)
+				}
+				parent[cur] = next
+				cur = next
+			}
+		}
+		lab, err := treelabel.Build(parent, int(s))
+		if err != nil {
+			return fmt.Errorf("rtc: tree T_%d: %w", s, err)
+		}
+		sch.Trees[s] = lab
+		if lab.Height > maxDepth {
+			maxDepth = lab.Height
+		}
+		for v := range lab.Labels {
+			treesPerNode[v]++
+		}
+	}
+	maxTrees := 0
+	for _, c := range treesPerNode {
+		if c > maxTrees {
+			maxTrees = c
+		}
+	}
+	// Multiplexed two-sweep labeling: one simulated round per tree a node
+	// participates in (Lemma 4.4 bounds maxTrees by O(log n)).
+	sch.Rounds.TreeLabeling = 2 * (maxDepth + 1) * maxTrees
+	for v := 0; v < n; v++ {
+		s := sch.Labels[v].Skel
+		tl, ok := sch.Trees[s].Labels[v]
+		if !ok {
+			return fmt.Errorf("rtc: node %d missing from its own tree T_%d", v, s)
+		}
+		sch.Labels[v].Tree = tl
+	}
+	return nil
+}
+
+// TreeStats reports the Lemma 4.4 quantities: per-tree depth and the
+// number of trees each node participates in.
+func (sch *Scheme) TreeStats() (depths []int, treesPerNode []int) {
+	treesPerNode = make([]int, sch.G.N())
+	order := make([]int32, 0, len(sch.Trees))
+	for s := range sch.Trees {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, s := range order {
+		lab := sch.Trees[s]
+		depths = append(depths, lab.Height)
+		for v := range lab.Labels {
+			treesPerNode[v]++
+		}
+	}
+	return depths, treesPerNode
+}
+
+// LabelBits returns the encoded size of λ(v) in bits.
+func (sch *Scheme) LabelBits(v int) int {
+	maxDist := 0.0
+	for _, l := range sch.Labels {
+		if l.DistToSkel > maxDist {
+			maxDist = l.DistToSkel
+		}
+	}
+	return sch.Labels[v].Bits(sch.G.N(), maxDist)
+}
+
+// TableWords estimates node v's routing-table size in words: its
+// per-instance PDE entries, plus tree-routing state, plus its share of the
+// globally known spanner (counted once per node, as every node stores it).
+func (sch *Scheme) TableWords(v int) int {
+	words := 0
+	for _, inst := range sch.A.Instances {
+		words += 3 * len(inst.Det.Lists[v])
+	}
+	for _, inst := range sch.B.Instances {
+		words += 3 * len(inst.Det.Lists[v])
+	}
+	for _, lab := range sch.Trees {
+		if _, ok := lab.Labels[v]; ok {
+			words += lab.TableWords(v)
+		}
+	}
+	words += 3 * len(sch.Span.Edges)
+	return words
+}

@@ -1,0 +1,246 @@
+// Package spanner implements the Baswana–Sen randomized (2k−1)-spanner
+// construction [3], the substrate Theorem 4.5 uses on the skeleton graph.
+//
+// The clustering algorithm is implemented from scratch and seeded
+// explicitly. Its distributed execution on the skeleton overlay is
+// cost-modeled: the paper (and [15], whose simulation it cites) bound the
+// simulation by Õ(|S|^{1+1/k} + D) rounds, realized by pipelining the
+// O(k·|S|) cluster announcements and the spanner edges over a global BFS
+// tree. SimRounds reports that modeled cost; the construction itself —
+// sampling, lightest-edge selection, cluster joins, edge discards — is the
+// real algorithm, so the spanner's stretch and size are measured, not
+// assumed.
+package spanner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pde/internal/graph"
+)
+
+// SpanEdge is one spanner edge.
+type SpanEdge struct {
+	U, V int
+	W    graph.Weight
+}
+
+// Result is a constructed spanner.
+type Result struct {
+	// K is the stretch parameter: the spanner has stretch at most 2k−1.
+	K int
+	// Edges is the spanner edge set.
+	Edges []SpanEdge
+	// PhaseAdded[i] counts edges added in phase i (0-based; the final
+	// entry is the finishing phase).
+	PhaseAdded []int
+	// SimRounds is the modeled distributed construction cost when run on
+	// an s-node overlay with hop diameter d: k·(s + d) for the clustering
+	// phases plus |Edges| + d to broadcast the result.
+	SimRounds int
+}
+
+// Subgraph returns the spanner as a standalone graph on the same node set.
+func (r *Result) Subgraph(n int) (*graph.Graph, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range r.Edges {
+		if !b.HasEdge(e.U, e.V) {
+			b.AddEdge(e.U, e.V, e.W)
+		}
+	}
+	return b.Build()
+}
+
+// BaswanaSen builds a (2k−1)-spanner of g with k−1 clustering phases and a
+// finishing phase. The expected size is O(k·n^{1+1/k}) edges.
+func BaswanaSen(g *graph.Graph, k int, rng *rand.Rand) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spanner: k=%d must be >= 1", k)
+	}
+	n := g.N()
+	res := &Result{K: k, PhaseAdded: make([]int, k)}
+	if n == 0 {
+		return res, nil
+	}
+	if k == 1 {
+		// A 1-spanner must keep every edge (stretch 1).
+		g.Edges(func(u, v int, w graph.Weight, _ int32) {
+			res.Edges = append(res.Edges, SpanEdge{U: u, V: v, W: w})
+		})
+		res.PhaseAdded[0] = len(res.Edges)
+		return res, nil
+	}
+	p := math.Pow(float64(n), -1.0/float64(k))
+
+	// cluster[v] is the center of v's cluster, or -1 once v has finished.
+	// active edges are tracked per node as a filter set.
+	cluster := make([]int32, n)
+	for v := range cluster {
+		cluster[v] = int32(v)
+	}
+	// removed[edgeID] marks edges discarded from the working set E'.
+	removed := make([]bool, g.M())
+	addEdge := func(phase, u, v int, w graph.Weight) {
+		res.Edges = append(res.Edges, SpanEdge{U: u, V: v, W: w})
+		res.PhaseAdded[phase]++
+	}
+
+	for phase := 0; phase < k-1; phase++ {
+		// Sample cluster centers.
+		centers := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			if cluster[v] >= 0 {
+				centers[cluster[v]] = false
+			}
+		}
+		// Deterministic iteration order for reproducibility.
+		ordered := make([]int32, 0, len(centers))
+		for c := range centers {
+			ordered = append(ordered, c)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, c := range ordered {
+			if rng.Float64() < p {
+				centers[c] = true
+			}
+		}
+		next := make([]int32, n)
+		for v := range next {
+			next[v] = -1
+		}
+		// Vertices of sampled clusters carry over.
+		for v := 0; v < n; v++ {
+			if cluster[v] >= 0 && centers[cluster[v]] {
+				next[v] = cluster[v]
+			}
+		}
+		for v := 0; v < n; v++ {
+			if cluster[v] < 0 || centers[cluster[v]] {
+				continue // finished, or in a sampled cluster
+			}
+			// Lightest edge from v to each adjacent cluster.
+			lightest := make(map[int32]graph.Edge)
+			for _, e := range g.Neighbors(v) {
+				if removed[e.ID] || cluster[e.To] < 0 || cluster[e.To] == cluster[v] {
+					continue
+				}
+				c := cluster[e.To]
+				if cur, ok := lightest[c]; !ok || e.W < cur.W || (e.W == cur.W && e.To < cur.To) {
+					lightest[c] = e
+				}
+			}
+			clusters := make([]int32, 0, len(lightest))
+			for c := range lightest {
+				clusters = append(clusters, c)
+			}
+			sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+
+			// Find the lightest edge to a *sampled* adjacent cluster.
+			bestC := int32(-1)
+			var best graph.Edge
+			for _, c := range clusters {
+				if !centers[c] {
+					continue
+				}
+				e := lightest[c]
+				if bestC < 0 || e.W < best.W || (e.W == best.W && e.To < best.To) {
+					bestC, best = c, e
+				}
+			}
+			if bestC < 0 {
+				// No sampled neighbor cluster: add one lightest edge per
+				// adjacent cluster and finish v.
+				for _, c := range clusters {
+					e := lightest[c]
+					addEdge(phase, v, e.To, e.W)
+				}
+				for _, e := range g.Neighbors(v) {
+					removed[e.ID] = true
+				}
+				next[v] = -1
+				continue
+			}
+			// Join the sampled cluster.
+			addEdge(phase, v, best.To, best.W)
+			next[v] = bestC
+			// Add one edge to every strictly lighter cluster, then
+			// discard v's edges to those clusters and to bestC.
+			for _, c := range clusters {
+				e := lightest[c]
+				lighter := e.W < best.W || (e.W == best.W && c != bestC && e.To < best.To)
+				if c != bestC && lighter {
+					addEdge(phase, v, e.To, e.W)
+				}
+				if c == bestC || lighter {
+					for _, ne := range g.Neighbors(v) {
+						if !removed[ne.ID] && cluster[ne.To] == c {
+							removed[ne.ID] = true
+						}
+					}
+				}
+			}
+		}
+		// Intra-cluster edges of the new clustering never re-enter.
+		for v := 0; v < n; v++ {
+			for _, e := range g.Neighbors(v) {
+				if !removed[e.ID] && next[v] >= 0 && next[v] == next[e.To] {
+					removed[e.ID] = true
+				}
+			}
+		}
+		cluster = next
+	}
+
+	// Finishing phase: every remaining vertex connects to each adjacent
+	// cluster with its lightest remaining edge.
+	for v := 0; v < n; v++ {
+		lightest := make(map[int32]graph.Edge)
+		for _, e := range g.Neighbors(v) {
+			if removed[e.ID] || cluster[e.To] < 0 || cluster[e.To] == cluster[v] {
+				continue
+			}
+			c := cluster[e.To]
+			if cur, ok := lightest[c]; !ok || e.W < cur.W || (e.W == cur.W && e.To < cur.To) {
+				lightest[c] = e
+			}
+		}
+		clusters := make([]int32, 0, len(lightest))
+		for c := range lightest {
+			clusters = append(clusters, c)
+		}
+		sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+		for _, c := range clusters {
+			e := lightest[c]
+			addEdge(k-1, v, e.To, e.W)
+			for _, ne := range g.Neighbors(v) {
+				if !removed[ne.ID] && cluster[ne.To] == c {
+					removed[ne.ID] = true
+				}
+			}
+		}
+	}
+
+	// Deduplicate (u,v) pairs possibly added from both sides.
+	seen := make(map[[2]int]bool, len(res.Edges))
+	dedup := res.Edges[:0]
+	for _, e := range res.Edges {
+		key := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, e)
+		}
+	}
+	res.Edges = dedup
+	return res, nil
+}
+
+// ModelSimRounds fills in the distributed-simulation cost for running the
+// construction on an s-node overlay in a network of hop diameter d and
+// returns it: k clustering phases of (s + d) pipelined announcements plus
+// the final spanner broadcast.
+func (r *Result) ModelSimRounds(s, d int) int {
+	r.SimRounds = r.K*(s+d) + len(r.Edges) + d
+	return r.SimRounds
+}

@@ -1,0 +1,140 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"pde/internal/graph"
+)
+
+// assertStretch verifies the defining property: for every pair, the
+// spanner distance is at most (2k-1) times the original distance.
+func assertStretch(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	sub, err := res.Subgraph(g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apG := graph.AllPairs(g)
+	apS := graph.AllPairs(sub)
+	bound := graph.Weight(2*res.K - 1)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			dg := apG.Dist(u, v)
+			ds := apS.Dist(u, v)
+			if dg == graph.Infinity {
+				continue
+			}
+			if ds == graph.Infinity {
+				t.Fatalf("k=%d: pair (%d,%d) disconnected in spanner", res.K, u, v)
+			}
+			if ds > bound*dg {
+				t.Fatalf("k=%d: stretch %d/%d > %d for (%d,%d)", res.K, ds, dg, bound, u, v)
+			}
+		}
+	}
+}
+
+func TestSpannerStretchAcrossKAndTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := []*graph.Graph{
+		graph.RandomConnected(40, 0.15, 30, rng),
+		graph.Clique(25, 50, rng),
+		graph.Grid(6, 7, 9, rng),
+		graph.Internet(50, 40, rng),
+	}
+	for gi, g := range graphs {
+		for _, k := range []int{1, 2, 3, 4} {
+			for seed := int64(0); seed < 3; seed++ {
+				res, err := BaswanaSen(g, k, rand.New(rand.NewSource(seed)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertStretch(t, g, res)
+				if gi == 0 && k == 1 && len(res.Edges) != g.M() {
+					t.Fatalf("1-spanner must keep all %d edges, has %d", g.M(), len(res.Edges))
+				}
+			}
+		}
+	}
+}
+
+func TestSpannerShrinksDenseGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Clique(40, 100, rng)
+	res, err := BaswanaSen(g, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) >= g.M() {
+		t.Fatalf("3-spanner of K40 kept all %d edges", g.M())
+	}
+	// Expected size O(k n^{1+1/k}); allow a generous constant.
+	boundF := 4.0 * 3 * 40.0 * 40.0 * 0.341 // 4k·n^{1+1/3} with n^{1/3}≈3.42→n^{4/3}≈40*3.42
+	if float64(len(res.Edges)) > boundF {
+		t.Fatalf("3-spanner of K40 has %d edges, want O(k n^{4/3}) ~ %f", len(res.Edges), boundF)
+	}
+}
+
+func TestSpannerDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(30, 0.2, 20, rng)
+	a, err := BaswanaSen(g, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BaswanaSen(g, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("same seed produced %d vs %d edges", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestSpannerValidation(t *testing.T) {
+	g := graph.NewBuilder(2).AddEdge(0, 1, 1).MustBuild()
+	if _, err := BaswanaSen(g, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	res, err := BaswanaSen(empty, 2, rand.New(rand.NewSource(1)))
+	if err != nil || len(res.Edges) != 0 {
+		t.Fatalf("empty graph: %v, %d edges", err, len(res.Edges))
+	}
+}
+
+func TestModelSimRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnected(20, 0.2, 10, rng)
+	res, err := BaswanaSen(g, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.ModelSimRounds(20, 4)
+	want := 2*(20+4) + len(res.Edges) + 4
+	if got != want || res.SimRounds != want {
+		t.Fatalf("SimRounds = %d, want %d", got, want)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Clique(20, 30, rng)
+	res, err := BaswanaSen(g, 3, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.PhaseAdded {
+		total += c
+	}
+	if total < len(res.Edges) {
+		t.Fatalf("phase counts %v sum to %d < %d edges", res.PhaseAdded, total, len(res.Edges))
+	}
+}

@@ -1,0 +1,185 @@
+package treelabel
+
+import (
+	"math/rand"
+	"testing"
+
+	"pde/internal/congest"
+	"pde/internal/graph"
+)
+
+// pathParents builds a path tree 0-1-2-...-(n-1) rooted at 0.
+func pathParents(n int) map[int]int {
+	p := map[int]int{0: -1}
+	for v := 1; v < n; v++ {
+		p[v] = v - 1
+	}
+	return p
+}
+
+func TestBuildPath(t *testing.T) {
+	lab, err := Build(pathParents(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		l := lab.Labels[v]
+		if l.Pre != int32(v) || l.Size != int32(5-v) {
+			t.Fatalf("node %d label %+v, want pre=%d size=%d", v, l, v, 5-v)
+		}
+	}
+	if lab.Height != 4 || lab.Rounds != 10 {
+		t.Fatalf("height=%d rounds=%d", lab.Height, lab.Rounds)
+	}
+}
+
+func TestBuildValidatesStructure(t *testing.T) {
+	// Cycle.
+	if _, err := Build(map[int]int{0: -1, 1: 2, 2: 1}, 0); err == nil {
+		t.Fatal("expected cycle/unreachable error")
+	}
+	// Root with a parent.
+	if _, err := Build(map[int]int{0: 1, 1: -1}, 0); err == nil {
+		t.Fatal("expected bad-root error")
+	}
+}
+
+func TestIntervalNesting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomTree(60, 5, rng)
+	sp := graph.Dijkstra(g, 0)
+	parent := map[int]int{0: -1}
+	for v := 1; v < 60; v++ {
+		parent[v] = int(sp.Parent[v])
+	}
+	lab, err := Build(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child intervals nest strictly inside parents and are disjoint
+	// across siblings.
+	for v, kids := range lab.Children {
+		lv := lab.Labels[v]
+		var prevEnd int32 = lv.Pre + 1
+		for _, c := range kids {
+			lc := lab.Labels[c]
+			if !lv.Contains(lc) {
+				t.Fatalf("child %d interval %+v not inside parent %d %+v", c, lc, v, lv)
+			}
+			if lc.Pre != prevEnd {
+				t.Fatalf("child %d starts at %d, want contiguous %d", c, lc.Pre, prevEnd)
+			}
+			prevEnd = lc.Pre + lc.Size
+		}
+		if prevEnd != lv.Pre+lv.Size {
+			t.Fatalf("node %d subtree not fully covered by children", v)
+		}
+	}
+}
+
+func TestRouteBetweenAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomTree(40, 5, rng)
+	sp := graph.Dijkstra(g, 3)
+	parent := map[int]int{3: -1}
+	for v := 0; v < 40; v++ {
+		if v != 3 {
+			parent[v] = int(sp.Parent[v])
+		}
+	}
+	lab, err := Build(parent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 40; u++ {
+		for v := 0; v < 40; v++ {
+			path, err := lab.Route(u, lab.Labels[v])
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", u, v, err)
+			}
+			if path[len(path)-1] != v {
+				t.Fatalf("route %d->%d ends at %d", u, v, path[len(path)-1])
+			}
+			// Path must be the unique tree path: length = depth(u) +
+			// depth(v) - 2 depth(lca); just check edges are tree edges
+			// and no node repeats.
+			seen := make(map[int]bool, len(path))
+			for i, x := range path {
+				if seen[x] {
+					t.Fatalf("route %d->%d revisits %d", u, v, x)
+				}
+				seen[x] = true
+				if i > 0 {
+					a, b := path[i-1], x
+					if parent[a] != b && parent[b] != a {
+						t.Fatalf("route %d->%d uses non-tree edge {%d,%d}", u, v, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(50, 0.08, 7, rng)
+	tree, _, err := congest.BuildBFSTree(g, 0, congest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := map[int]int{0: -1}
+	for v := 1; v < 50; v++ {
+		parent[v] = int(tree.Parent[v])
+	}
+	want, err := Build(parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, met, err := BuildDistributed(g, tree, congest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		if want.Labels[v] != got.Labels[v] {
+			t.Fatalf("node %d: distributed %+v, centralized %+v", v, got.Labels[v], want.Labels[v])
+		}
+	}
+	// Two sweeps over the tree: O(height) rounds.
+	if met.ActiveRounds > 2*(tree.Height+1)+2 {
+		t.Fatalf("distributed labeling took %d rounds, height %d", met.ActiveRounds, tree.Height)
+	}
+}
+
+func TestLabelBits(t *testing.T) {
+	l := Label{Pre: 5, Size: 9}
+	if got := l.Bits(1000); got != 20 {
+		t.Fatalf("Bits(1000) = %d, want 20", got)
+	}
+}
+
+func TestTableWords(t *testing.T) {
+	lab, err := Build(map[int]int{0: -1, 1: 0, 2: 0, 3: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.TableWords(0); got != 3+4 {
+		t.Fatalf("TableWords(0) = %d, want 7", got)
+	}
+	if got := lab.TableWords(3); got != 3 {
+		t.Fatalf("TableWords(3) = %d, want 3", got)
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	lab, err := Build(map[int]int{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Labels[7] != (Label{Pre: 0, Size: 1}) {
+		t.Fatalf("singleton label %+v", lab.Labels[7])
+	}
+	path, err := lab.Route(7, lab.Labels[7])
+	if err != nil || len(path) != 1 {
+		t.Fatalf("self route: %v %v", path, err)
+	}
+}

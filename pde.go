@@ -1,0 +1,171 @@
+// Package pde is a from-scratch Go implementation of "Fast Partial
+// Distance Estimation and Applications" (Lenzen & Patt-Shamir, PODC 2015):
+// partial distance estimation (PDE) in the CONGEST model, with its
+// applications to (1+ε)-approximate all-pairs shortest paths (Theorem 4.1),
+// routing-table construction with relabeling (Theorem 4.5), and compact
+// Thorup–Zwick routing hierarchies (§4.3), together with every substrate
+// the paper relies on (source detection, Baswana–Sen spanners, tree
+// labeling) and the baselines it is measured against.
+//
+// The package is a facade: algorithms live in internal packages and are
+// re-exported here as aliases, so this file documents the intended entry
+// points.
+//
+// Quick start:
+//
+//	g := pde.RandomGraph(200, 0.05, 100, 1) // n, density, max weight, seed
+//	res, err := pde.ApproxAPSP(g, 0.5, pde.Config{})
+//	// res.Lists[v] holds (1.5)-approximate distances from v to all nodes;
+//	// pde.NewRouter(g, res) routes along stretch-(1+ε) paths.
+package pde
+
+import (
+	"io"
+	"math/rand"
+
+	"pde/internal/baseline"
+	"pde/internal/compact"
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/detection"
+	"pde/internal/graph"
+	"pde/internal/rtc"
+	"pde/internal/spanner"
+	"pde/internal/treelabel"
+)
+
+// Re-exported substrate types. See the internal package docs for details.
+type (
+	// Graph is a weighted undirected graph on nodes 0..n-1.
+	Graph = graph.Graph
+	// Builder constructs Graphs.
+	Builder = graph.Builder
+	// Weight is an edge weight / exact distance.
+	Weight = graph.Weight
+	// APSPGroundTruth is exact all-pairs shortest-path data.
+	APSPGroundTruth = graph.APSP
+
+	// Config controls a CONGEST execution (bandwidth, parallelism).
+	Config = congest.Config
+	// Metrics reports rounds, messages and bits of an execution.
+	Metrics = congest.Metrics
+
+	// EstimationParams configures a PDE instance (Definition 2.2).
+	EstimationParams = core.Params
+	// Estimation is a PDE result: estimates, tables and cost accounting.
+	Estimation = core.Result
+	// Estimate is one (source, distance, next hop) table entry.
+	Estimate = core.Estimate
+	// Router is the Corollary 3.5 stretch-(1+ε) stateless router.
+	Router = core.Router
+
+	// DetectionParams configures raw unweighted/virtual source detection.
+	DetectionParams = detection.Params
+	// DetectionResult is a source-detection output.
+	DetectionResult = detection.Result
+
+	// RoutingParams configures Theorem 4.5 routing-table construction.
+	RoutingParams = rtc.Params
+	// RoutingScheme is a built Theorem 4.5 scheme.
+	RoutingScheme = rtc.Scheme
+
+	// CompactParams configures the §4.3 compact hierarchy.
+	CompactParams = compact.Params
+	// CompactScheme is a built §4.3 hierarchy.
+	CompactScheme = compact.Scheme
+
+	// Spanner is a Baswana–Sen (2k−1)-spanner.
+	Spanner = spanner.Result
+	// TreeLabeling is a Thorup–Zwick interval-labeled tree.
+	TreeLabeling = treelabel.Labeling
+)
+
+// Compact strategies (Corollary 4.14).
+const (
+	StrategyNone      = compact.StrategyNone
+	StrategySimulate  = compact.StrategySimulate
+	StrategyBroadcast = compact.StrategyBroadcast
+)
+
+// NewBuilder returns a graph builder for n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// RandomGraph generates a connected Erdős–Rényi-style graph.
+func RandomGraph(n int, p float64, maxW Weight, seed int64) *Graph {
+	return graph.RandomConnected(n, p, maxW, rand.New(rand.NewSource(seed)))
+}
+
+// GeometricGraph generates a connected random geometric graph.
+func GeometricGraph(n int, radius float64, maxW Weight, seed int64) *Graph {
+	return graph.Geometric(n, radius, maxW, rand.New(rand.NewSource(seed)))
+}
+
+// InternetGraph generates an ISP-like hierarchical topology.
+func InternetGraph(n int, maxW Weight, seed int64) *Graph {
+	return graph.Internet(n, maxW, rand.New(rand.NewSource(seed)))
+}
+
+// Figure1Gadget builds the paper's lower-bound construction.
+func Figure1Gadget(h, sigma int) *graph.Figure1 { return graph.NewFigure1(h, sigma) }
+
+// GroundTruth computes exact APSP centrally (for verification).
+func GroundTruth(g *Graph) *APSPGroundTruth { return graph.AllPairs(g) }
+
+// Estimation runs (1+ε)-approximate (S, h, σ)-estimation (Corollary 3.5).
+func RunEstimation(g *Graph, p EstimationParams, cfg Config) (*Estimation, error) {
+	return core.Run(g, p, cfg)
+}
+
+// ApproxAPSP runs the deterministic (1+ε)-approximate APSP of Theorem 4.1:
+// S = V, h = σ = n, completing in O(ε⁻² n log n) CONGEST rounds.
+func ApproxAPSP(g *Graph, eps float64, cfg Config) (*Estimation, error) {
+	return core.Run(g, core.APSPParams(g.N(), eps), cfg)
+}
+
+// NewRouter wraps an estimation result for stretch-(1+ε) routing.
+func NewRouter(g *Graph, res *Estimation) *Router { return core.NewRouter(g, res) }
+
+// BuildRoutingScheme constructs Theorem 4.5 routing tables: stretch
+// 6k−1+o(1), O(log n)-bit labels, Õ(n^{1/2+1/(4k)} + D) rounds.
+func BuildRoutingScheme(g *Graph, p RoutingParams, cfg Config) (*RoutingScheme, error) {
+	return rtc.Build(g, p, cfg)
+}
+
+// BuildCompactScheme constructs the §4.3 hierarchy: stretch 4k−3+o(1),
+// tables Õ(n^{1/k}), labels O(k log n) bits.
+func BuildCompactScheme(g *Graph, p CompactParams, cfg Config) (*CompactScheme, error) {
+	return compact.Build(g, p, cfg)
+}
+
+// BuildSpanner constructs a Baswana–Sen (2k−1)-spanner.
+func BuildSpanner(g *Graph, k int, seed int64) (*Spanner, error) {
+	return spanner.BaswanaSen(g, k, rand.New(rand.NewSource(seed)))
+}
+
+// BellmanFordAPSP runs the exact pipelined Bellman–Ford baseline.
+func BellmanFordAPSP(g *Graph, cfg Config) (*baseline.BFResult, error) {
+	return baseline.BellmanFordAPSP(g, cfg)
+}
+
+// FloodingAPSP runs the exact topology-flooding (OSPF-style) baseline.
+func FloodingAPSP(g *Graph, cfg Config) (*baseline.FloodResult, error) {
+	return baseline.FloodingAPSP(g, cfg)
+}
+
+// ExactDetection runs the σ·h-round exact (S, h, σ)-detection baseline
+// that Figure 1 shows is worst-case optimal.
+func ExactDetection(g *Graph, p baseline.ExactParams, cfg Config) (*baseline.ExactResult, error) {
+	return baseline.ExactDetect(g, p, cfg)
+}
+
+// ReadGraph parses a graph in the repository's text format (see
+// Graph.WriteTo): a "pde-graph v1" header, node/edge counts, and one
+// "u v w" line per edge.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// MakeNameIndependent converts a Theorem 4.5 scheme into the
+// name-independent variant of §2.3 by accounting a full label-directory
+// broadcast; routing is then addressed by plain node ids.
+func MakeNameIndependent(sch *RoutingScheme, hopDiameter int) (*rtc.NameIndependent, error) {
+	return rtc.MakeNameIndependent(sch, hopDiameter)
+}
