@@ -1,0 +1,103 @@
+// Command pde-bench runs the reproducible benchmark matrix and writes one
+// machine-readable BENCH_<scenario>.json per scenario (schema documented
+// in internal/bench/harness.go). CI uploads these as artifacts so the
+// performance trajectory is tracked PR-over-PR.
+//
+// Every scenario runs the sequential engine and the sharded parallel
+// engine on the same instance, records both wall clocks plus the speedup,
+// and fails if any output or cost counter diverges between the two — the
+// benchmark doubles as an end-to-end determinism check.
+//
+// Usage:
+//
+//	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-seq-baseline=false]
+//
+//	-quick         run only the small CI smoke subset
+//	-filter s      run only scenarios whose name contains s
+//	-out dir       directory for BENCH_*.json files (default ".")
+//	-list          print the matrix and exit
+//	-seq-baseline  also run the sequential engine for a speedup baseline
+//	               and cross-engine output check (default true)
+//
+// The process exits non-zero if any scenario errors, so a CI job running
+// it fails loudly rather than uploading partial results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"pde/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run only the CI smoke subset")
+	filter := flag.String("filter", "", "run only scenarios whose name contains this substring")
+	out := flag.String("out", ".", "output directory for BENCH_*.json files")
+	list := flag.Bool("list", false, "print the scenario matrix and exit")
+	seqBaseline := flag.Bool("seq-baseline", true, "also run the sequential engine for speedup + cross-engine check")
+	flag.Parse()
+
+	scenarios := bench.Scenarios()
+	selected := scenarios[:0]
+	for _, s := range scenarios {
+		if *quick && !s.Quick {
+			continue
+		}
+		if *filter != "" && !strings.Contains(s.Name, *filter) {
+			continue
+		}
+		selected = append(selected, s)
+	}
+	if *list {
+		for _, s := range selected {
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
+		}
+		return
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "pde-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios, GOMAXPROCS=%d\n", len(selected), runtime.GOMAXPROCS(0))
+	failed := 0
+	for _, s := range selected {
+		rep, err := bench.RunScenario(s, *seqBaseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: marshal: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		path := filepath.Join(*out, rep.Filename())
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: write: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		line := fmt.Sprintf("ok   %-28s rounds=%-6d msgs=%-9d wall=%.1fms",
+			s.Name, rep.ActiveRounds, rep.Messages, float64(rep.WallNS)/1e6)
+		if rep.SeqWallNS > 0 {
+			line += fmt.Sprintf(" seq=%.1fms speedup=%.2fx", float64(rep.SeqWallNS)/1e6, rep.Speedup)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, len(selected))
+		os.Exit(1)
+	}
+}

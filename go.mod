@@ -1,0 +1,3 @@
+module pde
+
+go 1.24

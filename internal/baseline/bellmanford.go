@@ -217,26 +217,35 @@ func FloodingAPSP(g *graph.Graph, cfg congest.Config) (*FloodResult, error) {
 		TableWords: 3 * g.M(),
 		Metrics:    met,
 	}
+	// Every edge record originates at its unique owner and is forwarded
+	// verbatim, so two nodes knowing the same edge id know the same edge.
+	// Once each node is verified to know all m ids, the n local topologies
+	// are identical and one rebuild serves every node's Dijkstra — the
+	// per-node O(m) reconstruction the real protocol pays is pure
+	// simulation overhead here, not CONGEST cost.
 	for v := 0; v < n; v++ {
 		if len(states[v].known) != g.M() {
 			return nil, fmt.Errorf("baseline: node %d learned %d of %d edges", v, len(states[v].known), g.M())
 		}
-		// Rebuild the topology locally and run Dijkstra, as the real
-		// protocol would.
-		b := graph.NewBuilder(n)
-		ids := make([]int32, 0, len(states[v].known))
-		for id := range states[v].known {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			e := states[v].known[id]
-			b.AddEdge(int(e.u), int(e.v), e.w)
-		}
-		local, err := b.Build()
-		if err != nil {
-			return nil, fmt.Errorf("baseline: node %d rebuilt bad topology: %w", v, err)
-		}
+	}
+	if n == 0 {
+		return res, nil
+	}
+	b := graph.NewBuilder(n)
+	ids := make([]int32, 0, len(states[0].known))
+	for id := range states[0].known {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := states[0].known[id]
+		b.AddEdge(int(e.u), int(e.v), e.w)
+	}
+	local, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: rebuilt bad topology: %w", err)
+	}
+	for v := 0; v < n; v++ {
 		res.Dist[v] = graph.Dijkstra(local, v).Dist
 	}
 	return res, nil

@@ -1,0 +1,461 @@
+package bench
+
+// This file is the reproducible benchmark harness behind cmd/pde-bench.
+// It runs a matrix of (topology × n × algorithm) scenarios and emits one
+// machine-readable report per scenario so the repository's performance
+// trajectory can be tracked PR-over-PR as CI artifacts.
+//
+// # BENCH_*.json schema (schema id "pde-bench/v1")
+//
+// Every scenario produces a file named BENCH_<scenario-name>.json holding
+// a single JSON object:
+//
+//	schema           string  – always "pde-bench/v1"
+//	name             string  – scenario name (also in the filename)
+//	algorithm        string  – apsp | pde-sweep | rtc | compact |
+//	                           bellman-ford | flooding
+//	topology         string  – random | grid | torus | ring | internet
+//	n, m             int     – nodes and undirected edges of the instance
+//	seed             int64   – generator seed (runs are deterministic)
+//	params           object  – algorithm knobs (eps, k, h, sigma, ...)
+//	active_rounds    int     – rounds the engine actually executed
+//	budget_rounds    int     – deterministic round budget charged
+//	messages         int64   – point-to-point CONGEST messages delivered
+//	message_bits     int64   – total bits delivered
+//	wall_ns          int64   – wall clock of the parallel-engine run
+//	ns_per_round     float64 – wall_ns / active_rounds
+//	allocs_per_round float64 – heap allocations per active round during
+//	                           the parallel run (engine + algorithm)
+//	gomaxprocs       int     – scheduler width the run observed
+//	seq_wall_ns      int64   – wall clock of the sequential-engine run
+//	                           (present when the run compared engines)
+//	speedup          float64 – seq_wall_ns / wall_ns (ditto; ≥2x expected
+//	                           on multi-core hardware for large scenarios,
+//	                           ~1x when GOMAXPROCS=1)
+//	outputs_match    bool    – sequential and parallel outputs and cost
+//	                           counters were bit-identical (ditto; a
+//	                           mismatch fails the whole run)
+//
+// The fingerprint behind outputs_match is an FNV-1a hash over the
+// algorithm's complete output (distance lists, tables, labels), so a
+// scheduling bug that altered any result would fail the bench job, not
+// just skew a number.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"pde/internal/baseline"
+	"pde/internal/compact"
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/rtc"
+)
+
+// SchemaID identifies the report format emitted by this harness.
+const SchemaID = "pde-bench/v1"
+
+// Cost is what one algorithm run reports back to the harness.
+type Cost struct {
+	ActiveRounds int
+	BudgetRounds int
+	Messages     int64
+	MessageBits  int64
+	// Fingerprint is an FNV-1a digest of the algorithm's complete output,
+	// used to prove sequential and parallel engines agree.
+	Fingerprint uint64
+}
+
+// Scenario is one cell of the benchmark matrix.
+type Scenario struct {
+	Name      string
+	Algorithm string
+	Topology  string
+	N         int
+	Seed      int64
+	// Quick marks the scenario for the CI smoke matrix (-quick).
+	Quick  bool
+	Params map[string]float64
+	// Build constructs the input graph (deterministic in Seed).
+	Build func() *graph.Graph
+	// Run executes the algorithm under the given engine config.
+	Run func(g *graph.Graph, cfg congest.Config) (Cost, error)
+}
+
+// Report is the BENCH_*.json payload. See the schema comment above.
+type Report struct {
+	Schema         string             `json:"schema"`
+	Name           string             `json:"name"`
+	Algorithm      string             `json:"algorithm"`
+	Topology       string             `json:"topology"`
+	N              int                `json:"n"`
+	M              int                `json:"m"`
+	Seed           int64              `json:"seed"`
+	Params         map[string]float64 `json:"params,omitempty"`
+	ActiveRounds   int                `json:"active_rounds"`
+	BudgetRounds   int                `json:"budget_rounds"`
+	Messages       int64              `json:"messages"`
+	MessageBits    int64              `json:"message_bits"`
+	WallNS         int64              `json:"wall_ns"`
+	NSPerRound     float64            `json:"ns_per_round"`
+	AllocsPerRound float64            `json:"allocs_per_round"`
+	GoMaxProcs     int                `json:"gomaxprocs"`
+	SeqWallNS      int64              `json:"seq_wall_ns,omitempty"`
+	Speedup        float64            `json:"speedup,omitempty"`
+	OutputsMatch   *bool              `json:"outputs_match,omitempty"`
+}
+
+// Filename returns the artifact name for this report.
+func (r *Report) Filename() string { return "BENCH_" + r.Name + ".json" }
+
+// JSON marshals the report, indented for human diffing.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// RunScenario executes one scenario. When compare is true it runs the
+// sequential engine first, then the parallel engine, records both wall
+// clocks, and fails if any output or cost counter diverges — the bench
+// job doubles as an end-to-end determinism check. When compare is false
+// only the parallel engine runs.
+func RunScenario(s Scenario, compare bool) (*Report, error) {
+	g := s.Build()
+	rep := &Report{
+		Schema:     SchemaID,
+		Name:       s.Name,
+		Algorithm:  s.Algorithm,
+		Topology:   s.Topology,
+		N:          g.N(),
+		M:          g.M(),
+		Seed:       s.Seed,
+		Params:     s.Params,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if s.N != 0 && s.N != g.N() {
+		return nil, fmt.Errorf("bench %s: scenario says n=%d but graph has %d nodes", s.Name, s.N, g.N())
+	}
+
+	var seqCost Cost
+	if compare {
+		t0 := time.Now()
+		var err error
+		seqCost, err = s.Run(g, congest.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s (sequential): %w", s.Name, err)
+		}
+		rep.SeqWallNS = time.Since(t0).Nanoseconds()
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	parCost, err := s.Run(g, congest.Config{Parallel: true})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (parallel): %w", s.Name, err)
+	}
+	rep.WallNS = time.Since(t0).Nanoseconds()
+	runtime.ReadMemStats(&ms1)
+
+	rep.ActiveRounds = parCost.ActiveRounds
+	rep.BudgetRounds = parCost.BudgetRounds
+	rep.Messages = parCost.Messages
+	rep.MessageBits = parCost.MessageBits
+	if parCost.ActiveRounds > 0 {
+		rep.NSPerRound = float64(rep.WallNS) / float64(parCost.ActiveRounds)
+		rep.AllocsPerRound = float64(ms1.Mallocs-ms0.Mallocs) / float64(parCost.ActiveRounds)
+	}
+	if compare {
+		if rep.WallNS > 0 {
+			rep.Speedup = float64(rep.SeqWallNS) / float64(rep.WallNS)
+		}
+		match := seqCost == parCost
+		rep.OutputsMatch = &match
+		if !match {
+			return nil, fmt.Errorf("bench %s: sequential and parallel engines diverge: seq %+v par %+v",
+				s.Name, seqCost, parCost)
+		}
+	}
+	return rep, nil
+}
+
+// fp accumulates an output fingerprint (FNV-1a over little-endian words).
+type fp struct{ h uint64 }
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func newFP() *fp { return &fp{h: fnvOffset64} }
+
+func (f *fp) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	for _, c := range b {
+		f.h ^= uint64(c)
+		f.h *= fnvPrime64
+	}
+}
+
+func (f *fp) i64(v int64)   { f.u64(uint64(v)) }
+func (f *fp) f64(v float64) { f.u64(math.Float64bits(v)) }
+func (f *fp) sum() uint64   { return f.h }
+
+func costOf(active, budget int, messages, bits int64, fingerprint uint64) Cost {
+	return Cost{
+		ActiveRounds: active,
+		BudgetRounds: budget,
+		Messages:     messages,
+		MessageBits:  bits,
+		Fingerprint:  fingerprint,
+	}
+}
+
+// --- Algorithm adapters -------------------------------------------------
+
+func runAPSP(eps float64) func(*graph.Graph, congest.Config) (Cost, error) {
+	return func(g *graph.Graph, cfg congest.Config) (Cost, error) {
+		res, err := core.Run(g, core.APSPParams(g.N(), eps), cfg)
+		if err != nil {
+			return Cost{}, err
+		}
+		return costOf(res.ActiveRounds, res.BudgetRounds, res.Messages, res.MessageBits, pdeFingerprint(res)), nil
+	}
+}
+
+func runSweep(h, sigma int, eps float64) func(*graph.Graph, congest.Config) (Cost, error) {
+	return func(g *graph.Graph, cfg congest.Config) (Cost, error) {
+		n := g.N()
+		src := make([]bool, n)
+		for v := 0; v < n; v += 3 {
+			src[v] = true
+		}
+		res, err := core.Run(g, core.Params{
+			IsSource: src, H: h, Sigma: sigma, Epsilon: eps, CapMessages: true,
+		}, cfg)
+		if err != nil {
+			return Cost{}, err
+		}
+		return costOf(res.ActiveRounds, res.BudgetRounds, res.Messages, res.MessageBits, pdeFingerprint(res)), nil
+	}
+}
+
+func pdeFingerprint(res *core.Result) uint64 {
+	f := newFP()
+	for v := range res.Lists {
+		for _, e := range res.Lists[v] {
+			f.i64(int64(v))
+			f.f64(e.Dist)
+			f.i64(int64(e.Src))
+			f.i64(int64(e.Via))
+		}
+	}
+	f.i64(res.MaxBroadcasts())
+	return f.sum()
+}
+
+func runBellmanFord(g *graph.Graph, cfg congest.Config) (Cost, error) {
+	res, err := baseline.BellmanFordAPSP(g, cfg)
+	if err != nil {
+		return Cost{}, err
+	}
+	f := newFP()
+	for v := range res.Dist {
+		for s, d := range res.Dist[v] {
+			f.i64(int64(d))
+			f.i64(int64(res.Parent[v][s]))
+		}
+	}
+	m := res.Metrics
+	return costOf(m.ActiveRounds, m.BudgetRounds, m.Messages, m.MessageBits, f.sum()), nil
+}
+
+func runFlooding(g *graph.Graph, cfg congest.Config) (Cost, error) {
+	res, err := baseline.FloodingAPSP(g, cfg)
+	if err != nil {
+		return Cost{}, err
+	}
+	f := newFP()
+	for v := range res.Dist {
+		for _, d := range res.Dist[v] {
+			f.i64(int64(d))
+		}
+	}
+	m := res.Metrics
+	return costOf(m.ActiveRounds, m.BudgetRounds, m.Messages, m.MessageBits, f.sum()), nil
+}
+
+func runRTC(k int, eps, sampleProb float64, seed int64) func(*graph.Graph, congest.Config) (Cost, error) {
+	return func(g *graph.Graph, cfg congest.Config) (Cost, error) {
+		sch, err := rtc.Build(g, rtc.Params{K: k, Epsilon: eps, SampleProb: sampleProb, Seed: seed}, cfg)
+		if err != nil {
+			return Cost{}, err
+		}
+		f := newFP()
+		for v := range sch.Labels {
+			l := &sch.Labels[v]
+			f.i64(int64(l.Node))
+			f.i64(int64(l.Skel))
+			f.f64(l.DistToSkel)
+			f.i64(int64(sch.LabelBits(v)))
+		}
+		met := mergePDEMetrics(sch.A, sch.B)
+		return costOf(met.active, sch.Rounds.Total, met.messages, met.bits, f.sum()), nil
+	}
+}
+
+func runCompact(k, l0 int, strat compact.Strategy, eps float64, seed int64) func(*graph.Graph, congest.Config) (Cost, error) {
+	return func(g *graph.Graph, cfg congest.Config) (Cost, error) {
+		sch, err := compact.Build(g, compact.Params{
+			K: k, Epsilon: eps, C: 1.5, L0: l0, Strategy: strat, Seed: seed,
+		}, cfg)
+		if err != nil {
+			return Cost{}, err
+		}
+		f := newFP()
+		var words int64
+		for v := range sch.Labels {
+			f.i64(int64(sch.Labels[v].Node))
+			f.i64(int64(len(sch.Labels[v].Per)))
+			f.i64(int64(sch.LabelBits(v)))
+			words += int64(sch.TableWords(v))
+		}
+		f.i64(words)
+		met := mergePDEMetrics(sch.R...)
+		return costOf(met.active, sch.Rounds.Total, met.messages, met.bits, f.sum()), nil
+	}
+}
+
+type pdeMetrics struct {
+	active   int
+	messages int64
+	bits     int64
+}
+
+func mergePDEMetrics(rs ...*core.Result) pdeMetrics {
+	var m pdeMetrics
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		m.active += r.ActiveRounds
+		m.messages += r.Messages
+		m.bits += r.MessageBits
+	}
+	return m
+}
+
+// --- The matrix ---------------------------------------------------------
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Scenarios returns the benchmark matrix. Quick scenarios form the CI
+// smoke set; the rest complete the matrix for full local runs, including
+// the headline n=512 ApproxAPSP engine-scaling scenario.
+func Scenarios() []Scenario {
+	var list []Scenario
+	add := func(s Scenario) { list = append(list, s) }
+
+	// ApproxAPSP (Theorem 4.1) across topologies and sizes.
+	add(Scenario{
+		Name: "apsp-random-n64", Algorithm: "apsp", Topology: "random", N: 64, Seed: 1, Quick: true,
+		Params: map[string]float64{"eps": 0.5, "maxw": 32},
+		Build:  func() *graph.Graph { return graph.RandomConnected(64, 6.0/64, 32, rng(1)) },
+		Run:    runAPSP(0.5),
+	})
+	add(Scenario{
+		Name: "apsp-grid-8x8", Algorithm: "apsp", Topology: "grid", N: 64, Seed: 2, Quick: true,
+		Params: map[string]float64{"eps": 0.5, "maxw": 16},
+		Build:  func() *graph.Graph { return graph.Grid(8, 8, 16, rng(2)) },
+		Run:    runAPSP(0.5),
+	})
+	add(Scenario{
+		Name: "apsp-torus-16x16", Algorithm: "apsp", Topology: "torus", N: 256, Seed: 3,
+		Params: map[string]float64{"eps": 1, "maxw": 4},
+		Build:  func() *graph.Graph { return graph.Torus(16, 16, 4, rng(3)) },
+		Run:    runAPSP(1),
+	})
+	// The engine-scaling headline: n=512, ~3.9ms of work per round
+	// sequentially, so the sharded engine's speedup is visible whenever
+	// GOMAXPROCS > 1.
+	add(Scenario{
+		Name: "apsp-random-n512", Algorithm: "apsp", Topology: "random", N: 512, Seed: 4,
+		Params: map[string]float64{"eps": 1, "maxw": 4},
+		Build:  func() *graph.Graph { return graph.RandomConnected(512, 8.0/512, 4, rng(4)) },
+		Run:    runAPSP(1),
+	})
+
+	// Partial-distance sweeps (Corollary 3.5 shape: h+σ additive).
+	add(Scenario{
+		Name: "sweep-internet-n128", Algorithm: "pde-sweep", Topology: "internet", N: 128, Seed: 5, Quick: true,
+		Params: map[string]float64{"h": 16, "sigma": 8, "eps": 0.5, "maxw": 20},
+		Build:  func() *graph.Graph { return graph.Internet(128, 20, rng(5)) },
+		Run:    runSweep(16, 8, 0.5),
+	})
+	add(Scenario{
+		Name: "sweep-random-n512", Algorithm: "pde-sweep", Topology: "random", N: 512, Seed: 6,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 16},
+		Build:  func() *graph.Graph { return graph.RandomConnected(512, 8.0/512, 16, rng(6)) },
+		Run:    runSweep(32, 16, 0.5),
+	})
+
+	// Theorem 4.5 routing-table construction.
+	add(Scenario{
+		Name: "rtc-random-n48-k2", Algorithm: "rtc", Topology: "random", N: 48, Seed: 7, Quick: true,
+		Params: map[string]float64{"k": 2, "eps": 0.25, "p": 0.25},
+		Build:  func() *graph.Graph { return graph.RandomConnected(48, 6.0/48, 16, rng(7)) },
+		Run:    runRTC(2, 0.25, 0.25, 7),
+	})
+	add(Scenario{
+		Name: "rtc-random-n96-k3", Algorithm: "rtc", Topology: "random", N: 96, Seed: 8,
+		Params: map[string]float64{"k": 3, "eps": 0.25, "p": 0.25},
+		Build:  func() *graph.Graph { return graph.RandomConnected(96, 6.0/96, 16, rng(8)) },
+		Run:    runRTC(3, 0.25, 0.25, 8),
+	})
+
+	// §4.3 compact hierarchies (direct and truncated strategies).
+	add(Scenario{
+		Name: "compact-random-n40-k3", Algorithm: "compact", Topology: "random", N: 40, Seed: 9, Quick: true,
+		Params: map[string]float64{"k": 3, "eps": 0.25},
+		Build:  func() *graph.Graph { return graph.RandomConnected(40, 6.0/40, 12, rng(9)) },
+		Run:    runCompact(3, 0, compact.StrategyNone, 0.25, 9),
+	})
+	add(Scenario{
+		Name: "compact-random-n64-k3-sim", Algorithm: "compact", Topology: "random", N: 64, Seed: 10,
+		Params: map[string]float64{"k": 3, "eps": 0.25, "l0": 2},
+		Build:  func() *graph.Graph { return graph.RandomConnected(64, 6.0/64, 12, rng(10)) },
+		Run:    runCompact(3, 2, compact.StrategySimulate, 0.25, 10),
+	})
+
+	// Exact baselines the paper's algorithms are measured against.
+	add(Scenario{
+		Name: "bellmanford-random-n64", Algorithm: "bellman-ford", Topology: "random", N: 64, Seed: 11, Quick: true,
+		Params: map[string]float64{"maxw": 32},
+		Build:  func() *graph.Graph { return graph.RandomConnected(64, 6.0/64, 32, rng(11)) },
+		Run:    runBellmanFord,
+	})
+	add(Scenario{
+		Name: "bellmanford-random-n256", Algorithm: "bellman-ford", Topology: "random", N: 256, Seed: 12,
+		Params: map[string]float64{"maxw": 32},
+		Build:  func() *graph.Graph { return graph.RandomConnected(256, 8.0/256, 32, rng(12)) },
+		Run:    runBellmanFord,
+	})
+	add(Scenario{
+		Name: "flooding-random-n64", Algorithm: "flooding", Topology: "random", N: 64, Seed: 13, Quick: true,
+		Params: map[string]float64{"maxw": 32},
+		Build:  func() *graph.Graph { return graph.RandomConnected(64, 6.0/64, 32, rng(13)) },
+		Run:    runFlooding,
+	})
+	add(Scenario{
+		Name: "flooding-ring-n256", Algorithm: "flooding", Topology: "ring", N: 256, Seed: 14,
+		Params: map[string]float64{"maxw": 16},
+		Build:  func() *graph.Graph { return graph.Ring(256, 16, rng(14)) },
+		Run:    runFlooding,
+	})
+
+	return list
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pde/internal/congest"
+	"pde/internal/graph"
+)
+
+func TestScenarioMatrixShape(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) < 12 {
+		t.Fatalf("matrix has %d scenarios, want >= 12", len(scenarios))
+	}
+	quick := 0
+	seen := map[string]bool{}
+	algos := map[string]bool{}
+	topos := map[string]bool{}
+	for _, s := range scenarios {
+		if s.Name == "" || strings.ContainsAny(s.Name, " /\\") {
+			t.Fatalf("scenario name %q is not filename-safe", s.Name)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		algos[s.Algorithm] = true
+		topos[s.Topology] = true
+		if s.Quick {
+			quick++
+		}
+		if s.Build == nil || s.Run == nil {
+			t.Fatalf("scenario %q missing Build or Run", s.Name)
+		}
+	}
+	if quick < 6 {
+		t.Fatalf("quick (CI smoke) subset has %d scenarios, want >= 6", quick)
+	}
+	for _, a := range []string{"apsp", "rtc", "compact", "bellman-ford", "flooding", "pde-sweep"} {
+		if !algos[a] {
+			t.Fatalf("matrix is missing algorithm %q", a)
+		}
+	}
+	if len(topos) < 3 {
+		t.Fatalf("matrix spans %d topologies, want >= 3", len(topos))
+	}
+	// The acceptance scenario: an n >= 512 ApproxAPSP engine comparison.
+	found := false
+	for _, s := range scenarios {
+		if s.Algorithm == "apsp" && s.N >= 512 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("matrix is missing the n >= 512 ApproxAPSP scenario")
+	}
+}
+
+// TestRunScenarioEmitsValidJSON runs the fastest scenario end to end in
+// compare mode and validates the emitted report against the documented
+// schema fields.
+func TestRunScenarioEmitsValidJSON(t *testing.T) {
+	var target *Scenario
+	for i := range Scenarios() {
+		s := Scenarios()[i]
+		if s.Name == "bellmanford-random-n64" {
+			target = &s
+		}
+	}
+	if target == nil {
+		t.Fatal("bellmanford-random-n64 scenario not found")
+	}
+	rep, err := RunScenario(*target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Filename() != "BENCH_bellmanford-random-n64.json" {
+		t.Fatalf("filename = %q", rep.Filename())
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"schema", "name", "algorithm", "topology", "n", "m", "seed",
+		"active_rounds", "budget_rounds", "messages", "message_bits",
+		"wall_ns", "ns_per_round", "allocs_per_round", "gomaxprocs",
+		"seq_wall_ns", "speedup", "outputs_match",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("report is missing schema key %q:\n%s", key, data)
+		}
+	}
+	if decoded["schema"] != SchemaID {
+		t.Fatalf("schema = %v, want %q", decoded["schema"], SchemaID)
+	}
+	if match, ok := decoded["outputs_match"].(bool); !ok || !match {
+		t.Fatalf("outputs_match = %v, want true", decoded["outputs_match"])
+	}
+	if rep.ActiveRounds <= 0 || rep.Messages <= 0 || rep.WallNS <= 0 {
+		t.Fatalf("implausible counters in %+v", rep)
+	}
+}
+
+// TestRunScenarioRejectsDivergentEngines checks the harness actually has
+// teeth: a scenario whose two engine runs report different fingerprints
+// must fail rather than write a report.
+func TestRunScenarioRejectsDivergentEngines(t *testing.T) {
+	calls := 0
+	bad := Scenarios()[0]
+	bad.Run = func(g *graph.Graph, cfg congest.Config) (Cost, error) {
+		calls++
+		return Cost{ActiveRounds: 1, Fingerprint: uint64(calls)}, nil
+	}
+	if _, err := RunScenario(bad, true); err == nil {
+		t.Fatal("divergent fingerprints must be an error")
+	}
+}

@@ -242,7 +242,7 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 			IsSource: sch.InLevel[l], Flags: flags,
 			H: hFor(l + 1), Sigma: sig,
 			Epsilon: p.Epsilon, CapMessages: true, SkipSetup: l > 0,
-		}, cfg)
+		}, cfg.Sub())
 		if err != nil {
 			return nil, fmt.Errorf("compact: level %d PDE: %w", l, err)
 		}
@@ -269,6 +269,16 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 	return sch, nil
 }
 
+// overlayCfg derives the engine config for PDE instances simulated on
+// the skeleton overlay graph: parallelism is inherited from the caller,
+// but the bandwidth limit is lifted because overlay messages ride the
+// BFS tree and are accounted separately (Lemma 4.12).
+func overlayCfg(cfg congest.Config) congest.Config {
+	sub := cfg.Sub()
+	sub.B = 1 << 20
+	return sub
+}
+
 // buildTruncated constructs G̃(l0) and the level instances on it.
 func (sch *Scheme) buildTruncated(p Params, hFor func(int) int, sigma int, lnN float64, cfg congest.Config) error {
 	l0 := p.L0
@@ -282,7 +292,7 @@ func (sch *Scheme) buildTruncated(p Params, hFor func(int) int, sigma int, lnN f
 	sch.SkelR, err = core.Run(sch.G, core.Params{
 		IsSource: sch.InLevel[l0], H: hFor(l0), Sigma: len(sch.Skel),
 		Epsilon: sch.Eps, CapMessages: true, SkipSetup: true,
-	}, cfg)
+	}, cfg.Sub())
 	if err != nil {
 		return fmt.Errorf("compact: skeleton PDE: %w", err)
 	}
@@ -388,7 +398,7 @@ func (sch *Scheme) buildTruncated(p Params, hFor func(int) int, sigma int, lnN f
 			r, err := core.Run(sch.Gl0, core.Params{
 				IsSource: isSrc, H: hSim, Sigma: sig,
 				Epsilon: epsPrime, CapMessages: true, SkipSetup: true,
-			}, congest.Config{B: 1 << 20}) // overlay messages ride the BFS tree
+			}, overlayCfg(cfg)) // overlay messages ride the BFS tree
 			if err != nil {
 				return fmt.Errorf("compact: simulated level %d: %w", l, err)
 			}

@@ -6,9 +6,13 @@
 // Algorithms are written as one Proc per node. The engine enforces the
 // bandwidth constraint, accounts rounds and messages, fast-forwards
 // through quiescent periods (reporting both executed and budgeted rounds),
-// and can run node steps either sequentially or on a goroutine worker
-// pool; both engines are deterministic and produce identical executions
-// because a node's step depends only on its own state and inbox.
+// and schedules only the nodes that can make progress: an explicit sorted
+// worklist of active nodes replaces any per-round scan over all n nodes.
+// Node steps and message delivery can run sequentially or sharded across
+// a goroutine worker pool; both engines are deterministic and produce
+// bit-identical executions because a node's step depends only on its own
+// state and inbox, and a node's inbox is always assembled in ascending
+// sender order (pulled along the receiver's sorted adjacency).
 package congest
 
 import (
@@ -49,10 +53,8 @@ type Ctx struct {
 	round   int
 	nbrs    []graph.Edge
 	inbox   []Incoming
-	out     []Message // one slot per port
-	sent    []bool
+	out     []Message // one slot per port; non-nil = sent this round
 	wake    bool
-	bcast   bool
 	fault   error
 	nsends  int64
 	nbcasts int64
@@ -80,15 +82,18 @@ func (c *Ctx) Send(port int, m Message) {
 	if c.fault != nil {
 		return
 	}
+	if m == nil {
+		c.fault = fmt.Errorf("congest: node %d sent a nil message in round %d", c.node, c.round)
+		return
+	}
 	if port < 0 || port >= len(c.nbrs) {
 		c.fault = fmt.Errorf("congest: node %d sent on invalid port %d (degree %d)", c.node, port, len(c.nbrs))
 		return
 	}
-	if c.sent[port] {
+	if c.out[port] != nil {
 		c.fault = fmt.Errorf("congest: node %d sent twice on port %d in round %d", c.node, port, c.round)
 		return
 	}
-	c.sent[port] = true
 	c.out[port] = m
 	c.nsends++
 }

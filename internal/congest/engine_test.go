@@ -1,0 +1,213 @@
+package congest
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pde/internal/graph"
+)
+
+// topologies used by the cross-engine determinism property test. Sizes
+// stay above parallelThreshold so the sharded paths actually engage.
+var topologies = []struct {
+	name string
+	make func(rng *rand.Rand) *graph.Graph
+}{
+	{"random", func(rng *rand.Rand) *graph.Graph { return graph.RandomConnected(60+rng.Intn(40), 0.08, 10, rng) }},
+	{"grid", func(rng *rand.Rand) *graph.Graph { return graph.Grid(8+rng.Intn(4), 8, 10, rng) }},
+	{"ring", func(rng *rand.Rand) *graph.Graph { return graph.Ring(60+rng.Intn(40), 10, rng) }},
+	{"star", func(rng *rand.Rand) *graph.Graph { return graph.Star(60+rng.Intn(40), 10, rng) }},
+	{"tree", func(rng *rand.Rand) *graph.Graph { return graph.RandomTree(60+rng.Intn(40), 10, rng) }},
+	{"internet", func(rng *rand.Rand) *graph.Graph { return graph.Internet(60+rng.Intn(40), 20, rng) }},
+}
+
+// TestPropertyEnginesBitIdentical is the engine-level determinism
+// property: across random seeds and topologies, the sequential engine and
+// the sharded parallel engine must produce identical algorithm outputs
+// AND identical full Metrics (rounds, messages, bits, per-node counters,
+// congestion indicator).
+func TestPropertyEnginesBitIdentical(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := topologies[rng.Intn(len(topologies))]
+		g := topo.make(rng)
+		n := g.N()
+		norigins := 1 + rng.Intn(5)
+		build := func() []Proc {
+			procs := make([]Proc, n)
+			for v := 0; v < n; v++ {
+				mf := &multiFlood{}
+				if v < norigins {
+					mf.mine = []int64{int64(1000 + v)}
+				}
+				procs[v] = mf
+			}
+			return procs
+		}
+		seqProcs := build()
+		parProcs := build()
+		seqMet, err1 := Run(g, seqProcs, Config{})
+		parMet, err2 := Run(g, parProcs, Config{Parallel: true, Workers: 1 + rng.Intn(7)})
+		if err1 != nil || err2 != nil {
+			t.Logf("topology %s: errs %v %v", topo.name, err1, err2)
+			return false
+		}
+		if !reflect.DeepEqual(seqMet, parMet) {
+			t.Logf("topology %s: metrics diverge\nseq %+v\npar %+v", topo.name, seqMet, parMet)
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a := seqProcs[v].(*multiFlood).tokens
+			b := parProcs[v].(*multiFlood).tokens
+			if !reflect.DeepEqual(a, b) {
+				t.Logf("topology %s node %d: outputs diverge %v vs %v", topo.name, v, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuiescenceFastForward is the regression test for the worklist
+// engine's fast path: once the network quiesces, the remaining budget
+// must be skipped in O(1), not scanned round by round. A 50-node flood
+// quiesces after ~n rounds; with a 5-million-round budget the run must
+// still return almost instantly and report the full budget.
+func TestQuiescenceFastForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.Path(50, 1, rng)
+	procs, _ := newFlood(50, 0)
+	start := time.Now()
+	met, err := Run(g, procs, Config{MaxRounds: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run took %v; quiescent rounds were not fast-forwarded", elapsed)
+	}
+	if !met.Quiesced {
+		t.Fatal("run must report quiescence")
+	}
+	if met.ActiveRounds < 49 || met.ActiveRounds > 51 {
+		t.Fatalf("ActiveRounds=%d, want ~49 (flood depth of a 50-path)", met.ActiveRounds)
+	}
+	if met.BudgetRounds != 5_000_000 {
+		t.Fatalf("BudgetRounds=%d, want the configured 5M budget", met.BudgetRounds)
+	}
+}
+
+// TestWorklistSkipsIdleNodes checks that a quiet node never takes a step:
+// on a star, only the center and one leaf ever exchange messages when the
+// flood starts at a leaf... every node is woken exactly once by the flood,
+// so per-node Sends reflect a single broadcast each.
+func TestWorklistSkipsIdleNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := graph.Star(64, 1, rng)
+	procs, states := newFlood(64, 1) // origin is a leaf
+	met, err := Run(g, procs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range states {
+		if s.heard < 0 {
+			t.Fatalf("node %d never heard the token", v)
+		}
+	}
+	// Leaf origin sends 1 (to center), center broadcasts to 63 leaves,
+	// every other leaf echoes 1 back to the center.
+	if met.Sends[1] != 1 || met.Sends[0] != 63 {
+		t.Fatalf("sends: origin=%d center=%d, want 1 and 63", met.Sends[1], met.Sends[0])
+	}
+	// Round 1: center hears. Round 2: leaves hear and echo. Round 3: the
+	// center consumes the echoes (it received, so it must step once more).
+	if met.ActiveRounds != 3 {
+		t.Fatalf("ActiveRounds=%d, want 3 (leaf->center, center->leaves, echo drain)", met.ActiveRounds)
+	}
+}
+
+func TestNilSendIsFault(t *testing.T) {
+	g := graph.NewBuilder(2).AddEdge(0, 1, 1).MustBuild()
+	procs := []Proc{&nilSender{}, &nilSender{}}
+	_, err := Run(g, procs, Config{})
+	if err == nil || !strings.Contains(err.Error(), "nil message") {
+		t.Fatalf("err=%v, want nil-message fault", err)
+	}
+}
+
+type nilSender struct{}
+
+func (p *nilSender) Init(ctx *Ctx) { ctx.Send(0, nil) }
+func (p *nilSender) Round(*Ctx)    {}
+
+// TestParallelBandwidthFaultIsDeterministic: with several simultaneous
+// violations, the sharded deliver must always surface the violation of
+// the smallest sender id, matching the sequential engine.
+func TestParallelBandwidthFaultIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomConnected(80, 0.1, 10, rng)
+	build := func() []Proc {
+		procs := make([]Proc, 80)
+		for v := range procs {
+			procs[v] = &hugeSender{}
+		}
+		return procs
+	}
+	_, errSeq := Run(g, build(), Config{})
+	_, errPar := Run(g, build(), Config{Parallel: true, Workers: 5})
+	if errSeq == nil || errPar == nil {
+		t.Fatalf("both engines must fault: seq=%v par=%v", errSeq, errPar)
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("fault selection diverges: seq=%q par=%q", errSeq, errPar)
+	}
+}
+
+type hugeSender struct{}
+
+func (p *hugeSender) Init(ctx *Ctx) { ctx.Broadcast(hugeMsg{}) }
+func (p *hugeSender) Round(*Ctx)    {}
+
+func TestConfigSub(t *testing.T) {
+	cfg := Config{
+		B:         17,
+		MaxRounds: 99,
+		Parallel:  true,
+		Workers:   3,
+		Observer:  func(int) bool { return true },
+	}
+	sub := cfg.Sub()
+	if sub.B != 17 || !sub.Parallel || sub.Workers != 3 {
+		t.Fatalf("Sub must keep engine knobs, got %+v", sub)
+	}
+	if sub.MaxRounds != 0 || sub.Observer != nil {
+		t.Fatalf("Sub must strip MaxRounds and Observer, got %+v", sub)
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{nil, nil, nil},
+		{[]int{1, 3}, nil, []int{1, 3}},
+		{nil, []int{2}, []int{2}},
+		{[]int{1, 2, 5}, []int{2, 3, 5, 9}, []int{1, 2, 3, 5, 9}},
+		{[]int{4}, []int{4}, []int{4}},
+	}
+	for _, c := range cases {
+		got := mergeSorted(nil, c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("merge(%v,%v)=%v, want %v", c.a, c.b, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("merge(%v,%v)=%v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}

@@ -79,7 +79,9 @@ func TestPropertyParallelEqualsSequential(t *testing.T) {
 		seqProcs := build()
 		parProcs := build()
 		seqMet, err1 := Run(g, seqProcs, Config{})
-		parMet, err2 := Run(g, parProcs, Config{Parallel: true})
+		// Explicit Workers forces the sharded step/deliver paths even on
+		// single-CPU machines where GOMAXPROCS would resolve to 1.
+		parMet, err2 := Run(g, parProcs, Config{Parallel: true, Workers: 4})
 		if err1 != nil || err2 != nil {
 			return false
 		}

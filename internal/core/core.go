@@ -186,7 +186,7 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 	// i_max locally — the +D term of Corollary 3.5.
 	maxW := g.MaxWeight()
 	if !p.SkipSetup && n > 0 {
-		tree, tm, err := congest.BuildBFSTree(g, 0, congest.Config{B: cfg.B, Parallel: cfg.Parallel})
+		tree, tm, err := congest.BuildBFSTree(g, 0, cfg.Sub())
 		if err != nil {
 			return nil, fmt.Errorf("core: setup BFS tree: %w", err)
 		}
@@ -198,7 +198,7 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 				}
 			}
 		}
-		agg, am, err := congest.Aggregate(g, tree, local, func(a, b int64) int64 { return max(a, b) }, congest.Config{B: cfg.B, Parallel: cfg.Parallel})
+		agg, am, err := congest.Aggregate(g, tree, local, func(a, b int64) int64 { return max(a, b) }, cfg.Sub())
 		if err != nil {
 			return nil, fmt.Errorf("core: setup aggregate: %w", err)
 		}
@@ -234,7 +234,7 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 			Delays:      p.Delays,
 			ExtraRounds: p.ExtraRounds,
 		}
-		det, err := detection.Run(g, dp, congest.Config{B: cfg.B, Parallel: cfg.Parallel})
+		det, err := detection.Run(g, dp, cfg.Sub())
 		if err != nil {
 			return nil, fmt.Errorf("core: instance %d: %w", i, err)
 		}

@@ -115,7 +115,14 @@ type pairMsg struct {
 
 // Bits is 8 flag bits plus the minimal binary lengths of the distance and
 // source id: O(log n) as the model requires.
-func (m pairMsg) Bits() int {
+//
+// The pointer receiver matters for throughput: messages cross the engine
+// as *pairMsg pointing into a per-port double-buffered wire slot (see
+// edgeSim.wire / nodeProc.selfWire), so steady-state rounds perform no
+// per-message heap allocation. A slot written in round r is only read by
+// its receiver in round r+1, while round r+1's emission goes to the
+// other parity slot — the two never overlap.
+func (m *pairMsg) Bits() int {
 	return 8 + bits.Len32(uint32(m.dist)) + bits.Len32(uint32(m.src))
 }
 
@@ -319,6 +326,9 @@ type edgeSim struct {
 	cells    []unit
 	newEmit  []pairMsg
 	newHas   []bool
+	// wire double-buffers the boundary emission that crosses the real
+	// edge, indexed by round parity, so sends need no allocation.
+	wire [2]pairMsg
 }
 
 type nodeProc struct {
@@ -326,7 +336,9 @@ type nodeProc struct {
 	self    unit
 	selfNew pairMsg
 	selfHas bool
-	edges   []edgeSim
+	// selfWire double-buffers self's emission for zero-cell edges.
+	selfWire [2]pairMsg
+	edges    []edgeSim
 }
 
 func (n *nodeProc) Init(ctx *congest.Ctx) {
@@ -367,7 +379,7 @@ func (n *nodeProc) Init(ctx *congest.Ctx) {
 func (n *nodeProc) Round(ctx *congest.Ctx) {
 	// Pass 1: integrate last round's emissions (local and real).
 	for _, in := range ctx.In() {
-		m := in.Msg.(pairMsg)
+		m := in.Msg.(*pairMsg)
 		es := &n.edges[in.Port]
 		if es.excluded {
 			continue
@@ -415,7 +427,11 @@ func (n *nodeProc) Round(ctx *congest.Ctx) {
 // neighbors' next round.
 func (n *nodeProc) emitPhase(ctx *congest.Ctx) {
 	sh := n.sh
+	par := ctx.Round() & 1
 	n.selfNew, n.selfHas = n.self.pickEmit(sh)
+	if n.selfHas {
+		n.selfWire[par] = n.selfNew
+	}
 	for p := range n.edges {
 		es := &n.edges[p]
 		if es.excluded {
@@ -428,10 +444,11 @@ func (n *nodeProc) emitPhase(ctx *congest.Ctx) {
 		// cell's, or self's when this side owns no cells.
 		if len(es.cells) == 0 {
 			if n.selfHas {
-				ctx.Send(p, n.selfNew)
+				ctx.Send(p, &n.selfWire[par])
 			}
 		} else if es.newHas[len(es.cells)-1] {
-			ctx.Send(p, es.newEmit[len(es.cells)-1])
+			es.wire[par] = es.newEmit[len(es.cells)-1]
+			ctx.Send(p, &es.wire[par])
 		}
 	}
 	// Publish and decide wake-up.
@@ -506,17 +523,22 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 		states[v] = nodeProc{sh: sh}
 		procs[v] = &states[v]
 	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = Budget(p)
+	// Derive the engine config explicitly: keep the caller's engine knobs
+	// plus budget/observer, so nothing else ever leaks into the run.
+	run := cfg.Sub()
+	run.MaxRounds = cfg.MaxRounds
+	if run.MaxRounds == 0 {
+		run.MaxRounds = Budget(p)
 	}
-	met, err := congest.Run(g, procs, cfg)
+	run.Observer = cfg.Observer
+	met, err := congest.Run(g, procs, run)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Lists:     make([][]Entry, n),
 		SelfEmits: make([]int64, n),
-		Budget:    cfg.MaxRounds,
+		Budget:    run.MaxRounds,
 		Metrics:   met,
 	}
 	for v := 0; v < n; v++ {

@@ -187,7 +187,7 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 	sch.A, err = core.Run(g, core.Params{
 		IsSource: all, Flags: flags, H: h, Sigma: sigma,
 		Epsilon: p.Epsilon, CapMessages: true,
-	}, cfg)
+	}, cfg.Sub())
 	if err != nil {
 		return nil, fmt.Errorf("rtc: short-range PDE: %w", err)
 	}
@@ -198,7 +198,7 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 	sch.B, err = core.Run(g, core.Params{
 		IsSource: isSkel, H: h, Sigma: len(sch.Skeleton),
 		Epsilon: p.Epsilon, CapMessages: true, SkipSetup: true,
-	}, cfg)
+	}, cfg.Sub())
 	if err != nil {
 		return nil, fmt.Errorf("rtc: skeleton PDE: %w", err)
 	}
