@@ -3,10 +3,15 @@
 // in internal/bench/harness.go). CI uploads these as artifacts so the
 // performance trajectory is tracked PR-over-PR.
 //
-// Every scenario runs the sequential engine and the sharded parallel
-// engine on the same instance, records both wall clocks plus the speedup,
-// and fails if any output or cost counter diverges between the two — the
-// benchmark doubles as an end-to-end determinism check.
+// Every construction scenario runs the sequential engine and the sharded
+// parallel engine on the same instance, records both wall clocks plus the
+// speedup, and fails if any output or cost counter diverges between the
+// two — the benchmark doubles as an end-to-end determinism check.
+//
+// Query scenarios (BENCH_query_*.json, schema "pde-query/v1", see
+// internal/bench/query.go) measure the serving side: they build the
+// tables once, then drive the same query stream through the legacy scan
+// path and the compiled oracle, failing if any answer diverges.
 //
 // Usage:
 //
@@ -53,13 +58,27 @@ func main() {
 		}
 		selected = append(selected, s)
 	}
+	queries := bench.QueryScenarios()
+	selectedQ := queries[:0]
+	for _, s := range queries {
+		if *quick && !s.Quick {
+			continue
+		}
+		if *filter != "" && !strings.Contains(s.Name, *filter) {
+			continue
+		}
+		selectedQ = append(selectedQ, s)
+	}
 	if *list {
 		for _, s := range selected {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
 		}
+		for _, s := range selectedQ {
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "query/"+s.Workload, s.Topology, s.N, s.Quick)
+		}
 		return
 	}
-	if len(selected) == 0 {
+	if len(selected)+len(selectedQ) == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
 	}
@@ -68,7 +87,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios, GOMAXPROCS=%d\n", len(selected), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d query), GOMAXPROCS=%d\n",
+		len(selected)+len(selectedQ), len(selected), len(selectedQ), runtime.GOMAXPROCS(0))
 	failed := 0
 	for _, s := range selected {
 		rep, err := bench.RunScenario(s, *seqBaseline)
@@ -96,8 +116,35 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
+	queryCache := bench.NewQueryCache()
+	for _, s := range selectedQ {
+		rep, err := bench.RunQueryScenario(s, queryCache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: marshal: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		path := filepath.Join(*out, rep.Filename())
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: write: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		line := fmt.Sprintf("ok   %-28s queries=%-8d legacy=%.2fMq/s oracle=%.2fMq/s speedup=%.1fx",
+			s.Name, rep.Queries, rep.LegacyQPS/1e6, rep.OracleQPS/1e6, rep.Speedup)
+		if rep.RoutesPerSec > 0 {
+			line += fmt.Sprintf(" routes/s=%.0f", rep.RoutesPerSec)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, len(selected))
+		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, len(selected)+len(selectedQ))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,235 @@
+// Command pde-query is a load generator for the serving side of the
+// repository: it builds a PDE result (Theorem 4.1 APSP or a partial
+// (S, h, σ) sweep), compiles it into the flat indexed oracle
+// (internal/oracle), and fires a randomized stream of distance / next-hop
+// / route queries at it, reporting sustained queries per second.
+//
+// Usage:
+//
+//	pde-query [-n 256] [-topology random|grid|internet|ring] [-eps 0.5]
+//	          [-maxw 16] [-h 0] [-sigma 0] [-queries 1000000]
+//	          [-workers 1] [-workload estimate|nexthop|route]
+//	          [-seed 1] [-legacy] [-json]
+//
+//	-h/-sigma 0   means full APSP (S = V, h = σ = n); positive values run
+//	              a partial sweep with every third node a source
+//	-workers N    fan the estimate workload's oracle pass across N
+//	              goroutines (0 = GOMAXPROCS). The legacy scan path and
+//	              the nexthop/route workloads are always single-threaded,
+//	              so leave the default of 1 when comparing a run against
+//	              its -legacy twin apples-to-apples; workers > 1 measures
+//	              the additional concurrent-serving headroom on top.
+//	-legacy       serve from the legacy scan path instead of the oracle
+//	-json         emit a machine-readable summary instead of prose
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+)
+
+type summary struct {
+	Workload      string  `json:"workload"`
+	Topology      string  `json:"topology"`
+	N             int     `json:"n"`
+	M             int     `json:"m"`
+	Queries       int     `json:"queries"`
+	Workers       int     `json:"workers"`
+	Legacy        bool    `json:"legacy"`
+	BuildNS       int64   `json:"build_ns"`
+	OracleBuildNS int64   `json:"oracle_build_ns"`
+	OracleBytes   int64   `json:"oracle_bytes"`
+	OracleEntries int     `json:"oracle_entries"`
+	WallNS        int64   `json:"wall_ns"`
+	QPS           float64 `json:"qps"`
+	NSPerQuery    float64 `json:"ns_per_query"`
+}
+
+func main() {
+	n := flag.Int("n", 256, "number of nodes")
+	topology := flag.String("topology", "random", "random | grid | internet | ring")
+	eps := flag.Float64("eps", 0.5, "PDE approximation slack")
+	maxW := flag.Int64("maxw", 16, "maximum edge weight")
+	h := flag.Int("h", 0, "hop bound (0 = APSP)")
+	sigma := flag.Int("sigma", 0, "list size (0 = APSP)")
+	queries := flag.Int("queries", 1_000_000, "number of queries to fire")
+	workers := flag.Int("workers", 1, "oracle estimate-pass fan-out; 1 = apples-to-apples vs -legacy (0 = GOMAXPROCS)")
+	workload := flag.String("workload", "estimate", "estimate | nexthop | route")
+	seed := flag.Int64("seed", 1, "graph and query stream seed")
+	legacy := flag.Bool("legacy", false, "serve from the legacy scan path instead of the oracle")
+	asJSON := flag.Bool("json", false, "emit a JSON summary")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Graph
+	switch *topology {
+	case "random":
+		g = graph.RandomConnected(*n, 8.0/float64(*n), graph.Weight(*maxW), rng)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = graph.Grid(side, side, graph.Weight(*maxW), rng)
+	case "internet":
+		g = graph.Internet(*n, graph.Weight(*maxW), rng)
+	case "ring":
+		g = graph.Ring(*n, graph.Weight(*maxW), rng)
+	default:
+		fmt.Fprintf(os.Stderr, "pde-query: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	params := core.APSPParams(g.N(), *eps)
+	if *h > 0 || *sigma > 0 {
+		src := make([]bool, g.N())
+		for v := 0; v < g.N(); v += 3 {
+			src[v] = true
+		}
+		hh, sig := *h, *sigma
+		if hh <= 0 {
+			hh = g.N()
+		}
+		if sig <= 0 {
+			sig = g.N()
+		}
+		params = core.Params{IsSource: src, H: hh, Sigma: sig, Epsilon: *eps, CapMessages: true}
+	}
+
+	t0 := time.Now()
+	res, err := core.Run(g, params, congest.Config{Parallel: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pde-query: build: %v\n", err)
+		os.Exit(1)
+	}
+	buildNS := time.Since(t0).Nanoseconds()
+
+	o := oracle.Compile(res)
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	sum := summary{
+		Workload: *workload, Topology: *topology, N: g.N(), M: g.M(),
+		Queries: *queries, Workers: w, Legacy: *legacy,
+		BuildNS:       buildNS,
+		OracleBuildNS: o.BuildTime.Nanoseconds(),
+		OracleBytes:   o.Bytes(),
+		OracleEntries: o.Entries(),
+	}
+
+	qs := make([]oracle.Query, *queries)
+	if *workload == "route" {
+		// Routes are only guaranteed deliverable for destinations in the
+		// origin's output list (Corollary 3.5); with partial sweeps most
+		// uniform (v, s) pairs have no entry and Route would rightly fail.
+		for i := range qs {
+			found := false
+			for attempt := 0; attempt < 1000; attempt++ {
+				v := rng.Intn(g.N())
+				lst := res.Lists[v]
+				if len(lst) == 0 {
+					continue
+				}
+				qs[i] = oracle.Query{V: v, S: lst[rng.Intn(len(lst))].Src}
+				found = true
+				break
+			}
+			if !found {
+				fmt.Fprintln(os.Stderr, "pde-query: no routable (v, s) pairs in these tables")
+				os.Exit(1)
+			}
+		}
+	} else {
+		for i := range qs {
+			qs[i] = oracle.Query{V: rng.Intn(g.N()), S: int32(rng.Intn(g.N()))}
+		}
+	}
+
+	var wall time.Duration
+	switch *workload {
+	case "estimate":
+		if *legacy {
+			t0 = time.Now()
+			for _, q := range qs {
+				res.Estimate(q.V, q.S)
+			}
+			wall = time.Since(t0)
+		} else if w == 1 {
+			out := make([]oracle.Answer, len(qs))
+			t0 = time.Now()
+			o.AnswerAll(qs, out)
+			wall = time.Since(t0)
+		} else {
+			t0 = time.Now()
+			o.AnswerParallel(qs, w)
+			wall = time.Since(t0)
+		}
+	case "nexthop":
+		var router *core.Router
+		if *legacy {
+			router = core.NewRouter(g, res)
+		} else {
+			router = core.NewRouterWith(g, res, o)
+		}
+		t0 = time.Now()
+		for _, q := range qs {
+			router.NextHop(q.V, q.S)
+		}
+		wall = time.Since(t0)
+	case "route":
+		var router *core.Router
+		if *legacy {
+			router = core.NewRouter(g, res)
+		} else {
+			router = core.NewRouterWith(g, res, o)
+		}
+		t0 = time.Now()
+		for _, q := range qs {
+			if _, err := router.Route(q.V, q.S); err != nil {
+				fmt.Fprintf(os.Stderr, "pde-query: route %d->%d: %v\n", q.V, q.S, err)
+				os.Exit(1)
+			}
+		}
+		wall = time.Since(t0)
+	default:
+		fmt.Fprintf(os.Stderr, "pde-query: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	sum.WallNS = wall.Nanoseconds()
+	if wall > 0 {
+		sum.QPS = float64(*queries) / wall.Seconds()
+		sum.NSPerQuery = float64(sum.WallNS) / float64(*queries)
+	}
+
+	if *asJSON {
+		data, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pde-query: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	path := "oracle"
+	if *legacy {
+		path = "legacy scan"
+	}
+	fmt.Printf("pde-query: %s/%s n=%d m=%d — built tables in %.1fms, oracle in %.2fms (%d entries, %.1f KiB)\n",
+		*workload, *topology, g.N(), g.M(),
+		float64(buildNS)/1e6, float64(sum.OracleBuildNS)/1e6,
+		sum.OracleEntries, float64(sum.OracleBytes)/1024)
+	fmt.Printf("pde-query: served %d queries from the %s path with %d worker(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
+		*queries, path, w, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
+}

@@ -1,0 +1,403 @@
+package bench
+
+// This file is the serving-side companion of harness.go: where BENCH_*.json
+// tracks construction cost, BENCH_query_*.json tracks how fast a *built*
+// result answers queries — the §2.4 workload of distance queries served
+// from local tables.
+//
+// # BENCH_query_*.json schema (schema id "pde-query/v1")
+//
+// Every query scenario produces BENCH_<name>.json (names start with
+// "query_") holding one JSON object:
+//
+//	schema             string  – always "pde-query/v1"
+//	name               string  – scenario name (also in the filename)
+//	workload           string  – estimate | nexthop | route
+//	algorithm          string  – algorithm whose tables are being served
+//	topology, n, m, seed, params – instance description, as in pde-bench/v1
+//	queries            int     – point lookups issued per pass (n² for
+//	                             estimate/nexthop; route pairs for route)
+//	workers            int     – goroutines of the concurrent oracle pass
+//	build_ns           int64   – wall clock of the table construction
+//	                             (scenarios sharing a PrepareKey report
+//	                             the first construction's times)
+//	oracle_build_ns    int64   – wall clock of oracle.Compile
+//	oracle_bytes       int64   – memory footprint of the compiled arrays
+//	oracle_entries     int     – compiled (node, source) pairs
+//	legacy_wall_ns     int64   – wall clock of the legacy scan-path pass
+//	legacy_qps         float64 – queries/sec of the legacy pass
+//	legacy_ns_per_query float64
+//	oracle_wall_ns     int64   – wall clock of the single-thread oracle pass
+//	oracle_qps         float64 – queries/sec of that pass
+//	oracle_ns_per_query float64
+//	parallel_wall_ns   int64   – wall clock of the concurrent oracle pass
+//	                             (estimate workload only)
+//	parallel_qps       float64 – queries/sec of that pass
+//	speedup            float64 – legacy_wall_ns / oracle_wall_ns
+//	routes_per_sec     float64 – delivered routes/sec, oracle-backed
+//	                             (route workload only)
+//	legacy_routes_per_sec float64 – ditto for the legacy scan path
+//	answers_match      bool    – every query answered identically by the
+//	                             legacy and oracle paths (a mismatch fails
+//	                             the whole run, not just the number)
+//	gomaxprocs         int     – scheduler width the run observed
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+)
+
+// QuerySchemaID identifies the serving-side report format.
+const QuerySchemaID = "pde-query/v1"
+
+// QueryScenario is one cell of the serving benchmark matrix.
+type QueryScenario struct {
+	// Name must start with "query_" so the artifact is BENCH_query_*.json.
+	Name      string
+	Workload  string // estimate | nexthop | route
+	Algorithm string
+	Topology  string
+	N         int
+	Seed      int64
+	Quick     bool
+	// RoutePairs is the number of sampled (v, s) pairs for the route
+	// workload.
+	RoutePairs int
+	Params     map[string]float64
+	// PrepareKey, when non-empty, lets scenarios with identical Build and
+	// Prepare share one constructed table set through a QueryCache (the
+	// three n=512 workloads query the same ~4s APSP build).
+	PrepareKey string
+	// Build constructs the input graph (deterministic in Seed).
+	Build func() *graph.Graph
+	// Prepare constructs the tables that will be queried.
+	Prepare func(g *graph.Graph, cfg congest.Config) (*core.Result, error)
+}
+
+// QueryCache memoizes prepared tables across scenarios that share a
+// PrepareKey, so a multi-workload matrix pays each construction once.
+type QueryCache struct{ m map[string]*preparedTables }
+
+type preparedTables struct {
+	g       *graph.Graph
+	res     *core.Result
+	o       *oracle.Oracle
+	buildNS int64
+}
+
+// NewQueryCache returns an empty cache for one RunQueryScenario sequence.
+func NewQueryCache() *QueryCache {
+	return &QueryCache{m: make(map[string]*preparedTables)}
+}
+
+// QueryReport is the BENCH_query_*.json payload. See the schema comment.
+type QueryReport struct {
+	Schema             string             `json:"schema"`
+	Name               string             `json:"name"`
+	Workload           string             `json:"workload"`
+	Algorithm          string             `json:"algorithm"`
+	Topology           string             `json:"topology"`
+	N                  int                `json:"n"`
+	M                  int                `json:"m"`
+	Seed               int64              `json:"seed"`
+	Params             map[string]float64 `json:"params,omitempty"`
+	Queries            int                `json:"queries"`
+	Workers            int                `json:"workers"`
+	BuildNS            int64              `json:"build_ns"`
+	OracleBuildNS      int64              `json:"oracle_build_ns"`
+	OracleBytes        int64              `json:"oracle_bytes"`
+	OracleEntries      int                `json:"oracle_entries"`
+	LegacyWallNS       int64              `json:"legacy_wall_ns"`
+	LegacyQPS          float64            `json:"legacy_qps"`
+	LegacyNSPerQuery   float64            `json:"legacy_ns_per_query"`
+	OracleWallNS       int64              `json:"oracle_wall_ns"`
+	OracleQPS          float64            `json:"oracle_qps"`
+	OracleNSPerQuery   float64            `json:"oracle_ns_per_query"`
+	ParallelWallNS     int64              `json:"parallel_wall_ns,omitempty"`
+	ParallelQPS        float64            `json:"parallel_qps,omitempty"`
+	Speedup            float64            `json:"speedup"`
+	RoutesPerSec       float64            `json:"routes_per_sec,omitempty"`
+	LegacyRoutesPerSec float64            `json:"legacy_routes_per_sec,omitempty"`
+	AnswersMatch       bool               `json:"answers_match"`
+	GoMaxProcs         int                `json:"gomaxprocs"`
+}
+
+// Filename returns the artifact name for this report.
+func (r *QueryReport) Filename() string { return "BENCH_" + r.Name + ".json" }
+
+// JSON marshals the report, indented for human diffing.
+func (r *QueryReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+func qps(queries int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(queries) / wall.Seconds()
+}
+
+// RunQueryScenario builds the scenario's tables once (or reuses them from
+// cache when the scenario carries a PrepareKey), compiles the oracle, then
+// drives the same query stream through the legacy scan path and the
+// oracle, verifying every answer is identical. Any divergence is an error:
+// the serving benchmark doubles as the oracle's end-to-end equivalence
+// check. cache may be nil; cached scenarios report the build and compile
+// times of the first construction.
+func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) {
+	var prep *preparedTables
+	if cache != nil && s.PrepareKey != "" {
+		prep = cache.m[s.PrepareKey]
+	}
+	var g *graph.Graph
+	if prep != nil {
+		g = prep.g
+	} else {
+		g = s.Build()
+	}
+	rep := &QueryReport{
+		Schema:     QuerySchemaID,
+		Name:       s.Name,
+		Workload:   s.Workload,
+		Algorithm:  s.Algorithm,
+		Topology:   s.Topology,
+		N:          g.N(),
+		M:          g.M(),
+		Seed:       s.Seed,
+		Params:     s.Params,
+		Workers:    runtime.GOMAXPROCS(0),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if s.N != 0 && s.N != g.N() {
+		return nil, fmt.Errorf("bench %s: scenario says n=%d but graph has %d nodes", s.Name, s.N, g.N())
+	}
+
+	if prep == nil {
+		t0 := time.Now()
+		res, err := s.Prepare(g, congest.Config{Parallel: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: prepare: %w", s.Name, err)
+		}
+		prep = &preparedTables{
+			g: g, res: res, o: oracle.Compile(res),
+			buildNS: time.Since(t0).Nanoseconds(),
+		}
+		if cache != nil && s.PrepareKey != "" {
+			cache.m[s.PrepareKey] = prep
+		}
+	}
+	res, o := prep.res, prep.o
+	rep.BuildNS = prep.buildNS
+	rep.OracleBuildNS = o.BuildTime.Nanoseconds()
+	rep.OracleBytes = o.Bytes()
+	rep.OracleEntries = o.Entries()
+
+	var t0 time.Time
+	n := g.N()
+	switch s.Workload {
+	case "estimate":
+		rep.Queries = n * n
+		legacy := make([]oracle.Answer, 0, n*n)
+		t0 = time.Now()
+		for v := 0; v < n; v++ {
+			for s := int32(0); s < int32(n); s++ {
+				e, ok := res.Estimate(v, s)
+				if !ok {
+					// The legacy scan hands back its +Inf scratch value on a
+					// miss; only the found flag is part of the contract.
+					e = core.Estimate{}
+				}
+				legacy = append(legacy, oracle.Answer{Est: e, OK: ok})
+			}
+		}
+		legacyWall := time.Since(t0)
+
+		got := make([]oracle.Answer, 0, n*n)
+		t0 = time.Now()
+		for v := 0; v < n; v++ {
+			for s := int32(0); s < int32(n); s++ {
+				e, ok := o.Estimate(v, s)
+				got = append(got, oracle.Answer{Est: e, OK: ok})
+			}
+		}
+		oracleWall := time.Since(t0)
+		for i := range legacy {
+			if legacy[i] != got[i] {
+				return nil, fmt.Errorf("bench %s: answer %d diverges: legacy %+v oracle %+v", s.Name, i, legacy[i], got[i])
+			}
+		}
+		qs := make([]oracle.Query, 0, n*n)
+		for v := 0; v < n; v++ {
+			for s := int32(0); s < int32(n); s++ {
+				qs = append(qs, oracle.Query{V: v, S: s})
+			}
+		}
+		t0 = time.Now()
+		par := o.AnswerParallel(qs, rep.Workers)
+		parWall := time.Since(t0)
+		for i := range legacy {
+			if legacy[i] != par[i] {
+				return nil, fmt.Errorf("bench %s: parallel answer %d diverges", s.Name, i)
+			}
+		}
+		rep.LegacyWallNS = legacyWall.Nanoseconds()
+		rep.OracleWallNS = oracleWall.Nanoseconds()
+		rep.ParallelWallNS = parWall.Nanoseconds()
+		rep.ParallelQPS = qps(rep.Queries, parWall)
+
+	case "nexthop":
+		rep.Queries = n * n
+		legacyRouter := core.NewRouter(g, res)
+		oracleRouter := core.NewRouterWith(g, res, o)
+		type hop struct {
+			next int
+			ok   bool
+		}
+		legacy := make([]hop, 0, n*n)
+		t0 = time.Now()
+		for v := 0; v < n; v++ {
+			for s := int32(0); s < int32(n); s++ {
+				next, ok := legacyRouter.NextHop(v, s)
+				legacy = append(legacy, hop{next, ok})
+			}
+		}
+		legacyWall := time.Since(t0)
+		got := make([]hop, 0, n*n)
+		t0 = time.Now()
+		for v := 0; v < n; v++ {
+			for s := int32(0); s < int32(n); s++ {
+				next, ok := oracleRouter.NextHop(v, s)
+				got = append(got, hop{next, ok})
+			}
+		}
+		oracleWall := time.Since(t0)
+		for i := range legacy {
+			if legacy[i] != got[i] {
+				return nil, fmt.Errorf("bench %s: next hop %d diverges: legacy %+v oracle %+v", s.Name, i, legacy[i], got[i])
+			}
+		}
+		rep.LegacyWallNS = legacyWall.Nanoseconds()
+		rep.OracleWallNS = oracleWall.Nanoseconds()
+
+	case "route":
+		pairs := s.RoutePairs
+		if pairs <= 0 {
+			pairs = 1024
+		}
+		rep.Queries = pairs
+		r := rng(s.Seed + 1)
+		type pq struct {
+			v int
+			s int32
+		}
+		ps := make([]pq, pairs)
+		for i := range ps {
+			ps[i] = pq{r.Intn(n), int32(r.Intn(n))}
+		}
+		legacyRouter := core.NewRouter(g, res)
+		oracleRouter := core.NewRouterWith(g, res, o)
+		type leg struct {
+			weight graph.Weight
+			hops   int
+		}
+		legacy := make([]leg, pairs)
+		t0 = time.Now()
+		for i, p := range ps {
+			rt, err := legacyRouter.Route(p.v, p.s)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: legacy route %d->%d: %w", s.Name, p.v, p.s, err)
+			}
+			legacy[i] = leg{rt.Weight, len(rt.Path)}
+		}
+		legacyWall := time.Since(t0)
+		t0 = time.Now()
+		for i, p := range ps {
+			rt, err := oracleRouter.Route(p.v, p.s)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: oracle route %d->%d: %w", s.Name, p.v, p.s, err)
+			}
+			if (leg{rt.Weight, len(rt.Path)}) != legacy[i] {
+				return nil, fmt.Errorf("bench %s: route %d->%d diverges: legacy %+v oracle {%d %d}",
+					s.Name, p.v, p.s, legacy[i], rt.Weight, len(rt.Path))
+			}
+		}
+		oracleWall := time.Since(t0)
+		rep.LegacyWallNS = legacyWall.Nanoseconds()
+		rep.OracleWallNS = oracleWall.Nanoseconds()
+		rep.RoutesPerSec = qps(pairs, oracleWall)
+		rep.LegacyRoutesPerSec = qps(pairs, legacyWall)
+
+	default:
+		return nil, fmt.Errorf("bench %s: unknown workload %q", s.Name, s.Workload)
+	}
+
+	rep.LegacyQPS = qps(rep.Queries, time.Duration(rep.LegacyWallNS))
+	rep.LegacyNSPerQuery = float64(rep.LegacyWallNS) / float64(rep.Queries)
+	rep.OracleQPS = qps(rep.Queries, time.Duration(rep.OracleWallNS))
+	rep.OracleNSPerQuery = float64(rep.OracleWallNS) / float64(rep.Queries)
+	if rep.OracleWallNS > 0 {
+		rep.Speedup = float64(rep.LegacyWallNS) / float64(rep.OracleWallNS)
+	}
+	rep.AnswersMatch = true // a mismatch errors out above
+	return rep, nil
+}
+
+// QueryScenarios returns the serving benchmark matrix. All scenarios are
+// part of the quick set: serving performance is cheap to measure once the
+// tables are built, and the ≥5x oracle-vs-scan acceptance bar is tracked
+// on the n=512 APSP instance every PR.
+func QueryScenarios() []QueryScenario {
+	var list []QueryScenario
+	add := func(s QueryScenario) { list = append(list, s) }
+
+	apsp512 := func() *graph.Graph { return graph.RandomConnected(512, 8.0/512, 4, rng(4)) }
+	prepAPSP := func(eps float64) func(*graph.Graph, congest.Config) (*core.Result, error) {
+		return func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			return core.Run(g, core.APSPParams(g.N(), eps), cfg)
+		}
+	}
+
+	add(QueryScenario{
+		Name: "query_estimate-apsp-n512", Workload: "estimate", Algorithm: "apsp",
+		PrepareKey: "apsp-random-n512-eps1",
+		Topology:   "random", N: 512, Seed: 4, Quick: true,
+		Params: map[string]float64{"eps": 1, "maxw": 4},
+		Build:  apsp512, Prepare: prepAPSP(1),
+	})
+	add(QueryScenario{
+		Name: "query_nexthop-apsp-n512", Workload: "nexthop", Algorithm: "apsp",
+		PrepareKey: "apsp-random-n512-eps1",
+		Topology:   "random", N: 512, Seed: 4, Quick: true,
+		Params: map[string]float64{"eps": 1, "maxw": 4},
+		Build:  apsp512, Prepare: prepAPSP(1),
+	})
+	add(QueryScenario{
+		Name: "query_route-apsp-n512", Workload: "route", Algorithm: "apsp",
+		PrepareKey: "apsp-random-n512-eps1",
+		Topology:   "random", N: 512, Seed: 4, Quick: true, RoutePairs: 4096,
+		Params: map[string]float64{"eps": 1, "maxw": 4},
+		Build:  apsp512, Prepare: prepAPSP(1),
+	})
+	add(QueryScenario{
+		Name: "query_estimate-sweep-n256", Workload: "estimate", Algorithm: "pde-sweep",
+		Topology: "random", N: 256, Seed: 6, Quick: true,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 16},
+		Build:  func() *graph.Graph { return graph.RandomConnected(256, 8.0/256, 16, rng(6)) },
+		Prepare: func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			n := g.N()
+			src := make([]bool, n)
+			for v := 0; v < n; v += 3 {
+				src[v] = true
+			}
+			return core.Run(g, core.Params{
+				IsSource: src, H: 32, Sigma: 16, Epsilon: 0.5, CapMessages: true,
+			}, cfg)
+		},
+	})
+	return list
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+)
+
+func smallQueryScenario(workload string) QueryScenario {
+	return QueryScenario{
+		Name: "query_test-" + workload, Workload: workload, Algorithm: "apsp",
+		Topology: "random", N: 32, Seed: 21, RoutePairs: 64,
+		Params: map[string]float64{"eps": 1, "maxw": 8},
+		Build: func() *graph.Graph {
+			return graph.RandomConnected(32, 6.0/32, 8, rand.New(rand.NewSource(21)))
+		},
+		Prepare: func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			return core.Run(g, core.APSPParams(g.N(), 1), cfg)
+		},
+	}
+}
+
+// TestRunQueryScenarioWorkloads smoke-tests every workload on a small
+// instance: the run must succeed (which implies every answer matched the
+// legacy path) and report coherent counters.
+func TestRunQueryScenarioWorkloads(t *testing.T) {
+	for _, workload := range []string{"estimate", "nexthop", "route"} {
+		rep, err := RunQueryScenario(smallQueryScenario(workload), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", workload, err)
+		}
+		if rep.Schema != QuerySchemaID {
+			t.Fatalf("%s: schema %q", workload, rep.Schema)
+		}
+		if !rep.AnswersMatch {
+			t.Fatalf("%s: answers_match false without error", workload)
+		}
+		if rep.Queries <= 0 || rep.OracleQPS <= 0 || rep.LegacyQPS <= 0 {
+			t.Fatalf("%s: degenerate counters %+v", workload, rep)
+		}
+		if rep.OracleEntries <= 0 || rep.OracleBytes <= 0 {
+			t.Fatalf("%s: oracle accounting missing: %+v", workload, rep)
+		}
+		if workload == "route" && rep.RoutesPerSec <= 0 {
+			t.Fatalf("route: routes_per_sec missing: %+v", rep)
+		}
+	}
+}
+
+// TestQueryCacheSharesPreparedTables runs two workloads over one cache and
+// checks the second reuses the first's construction (identical build_ns
+// and a single Prepare invocation).
+func TestQueryCacheSharesPreparedTables(t *testing.T) {
+	cache := NewQueryCache()
+	prepares := 0
+	scenario := func(workload string) QueryScenario {
+		s := smallQueryScenario(workload)
+		s.PrepareKey = "shared"
+		inner := s.Prepare
+		s.Prepare = func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			prepares++
+			return inner(g, cfg)
+		}
+		return s
+	}
+	rep1, err := RunQueryScenario(scenario("estimate"), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunQueryScenario(scenario("nexthop"), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepares != 1 {
+		t.Fatalf("Prepare ran %d times over a shared cache, want 1", prepares)
+	}
+	if rep1.BuildNS != rep2.BuildNS || rep1.OracleEntries != rep2.OracleEntries {
+		t.Fatalf("cached scenario reports diverge: %+v vs %+v", rep1, rep2)
+	}
+}
+
+// TestQueryScenarioNaming keeps every matrix entry on the BENCH_query_*
+// artifact contract the trajectory tooling greps for.
+func TestQueryScenarioNaming(t *testing.T) {
+	for _, s := range QueryScenarios() {
+		if !strings.HasPrefix(s.Name, "query_") {
+			t.Errorf("scenario %q must start with query_", s.Name)
+		}
+		if !s.Quick {
+			t.Errorf("scenario %q must be in the quick set (serving perf is tracked every PR)", s.Name)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package compact
+
+import (
+	"math"
+	"testing"
+
+	"pde/internal/graph"
+	"pde/internal/treelabel"
+)
+
+// TestLabelBitsTreeCostAndBound pins the two accounting fixes: the
+// per-level tree-label cost is the actual Tree.Bits(n) (as rtc accounts
+// it), not a hardcoded 2·idBits, and the distance-width loop is bounded
+// so huge maxDist values terminate at 63 bits.
+func TestLabelBitsTreeCostAndBound(t *testing.T) {
+	n := 64
+	l := Label{
+		Node: 1,
+		Per: []LevelLabel{
+			{Skel: 3, Dist: 10, Tree: treelabel.Label{Pre: 1, Size: 2}},
+			{Skel: 5, Dist: 20, Tree: treelabel.Label{Pre: 4, Size: 1}},
+		},
+	}
+	maxDist := 100.0
+	idBits := graph.IDBits(n)
+	distBits := graph.DistBits(maxDist)
+	want := idBits
+	for _, per := range l.Per {
+		want += idBits + distBits + per.Tree.Bits(n)
+	}
+	if got := l.Bits(n, maxDist); got != want {
+		t.Fatalf("Bits = %d, want %d (idBits=%d distBits=%d treeBits=%d)",
+			got, want, idBits, distBits, l.Per[0].Tree.Bits(n))
+	}
+
+	// Bounded loop: must terminate and cap the distance field at 63 bits.
+	huge := l.Bits(n, math.MaxFloat64)
+	inf := l.Bits(n, math.Inf(1))
+	if huge != inf {
+		t.Fatalf("Bits(MaxFloat64) = %d != Bits(+Inf) = %d", huge, inf)
+	}
+	perLevelGrowth := (huge - l.Bits(n, maxDist)) / len(l.Per)
+	if perLevelGrowth != 63-distBits {
+		t.Fatalf("huge maxDist added %d bits per level, want %d", perLevelGrowth, 63-distBits)
+	}
+}

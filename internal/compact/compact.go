@@ -28,6 +28,7 @@ import (
 	"pde/internal/congest"
 	"pde/internal/core"
 	"pde/internal/graph"
+	"pde/internal/oracle"
 	"pde/internal/treelabel"
 )
 
@@ -82,17 +83,19 @@ type Label struct {
 	Per  []LevelLabel
 }
 
-// Bits returns the encoded label size.
+// Bits returns the encoded label size: the node id plus, per level, a
+// pivot id, a distance and that level's actual tree label. The tree-label
+// cost is Tree.Bits(n) (as rtc accounts it), not a hardcoded 2·idBits, and
+// the id/distance widths come from the shared graph helpers whose distance
+// loop is bounded for huge maxDist.
 func (l Label) Bits(n int, maxDist float64) int {
-	idBits := 1
-	for 1<<idBits < n {
-		idBits++
+	idBits := graph.IDBits(n)
+	distBits := graph.DistBits(maxDist)
+	bits := idBits
+	for _, per := range l.Per {
+		bits += idBits + distBits + per.Tree.Bits(n)
 	}
-	distBits := 1
-	for float64(int64(1)<<distBits) < maxDist+1 {
-		distBits++
-	}
-	return idBits + len(l.Per)*(idBits+distBits+2*idBits)
+	return bits
 }
 
 // RoundBreakdown itemizes construction cost.
@@ -138,8 +141,13 @@ type Scheme struct {
 	Labels []Label
 	Rounds RoundBreakdown
 
-	routers    []*core.Router // per direct level
+	routers    []*core.Router // per direct level, oracle-backed
 	skelRouter *core.Router
+	// oracles[l] / skelOracle are the flat indexed views serving
+	// levelEstimate and levelNextHop; the per-instance scans remain the
+	// correctness reference in tests.
+	oracles    []*oracle.Oracle
+	skelOracle *oracle.Oracle
 }
 
 // Build constructs the hierarchy.
@@ -227,6 +235,7 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 	// Direct levels 0..lastDirect.
 	sch.R = make([]*core.Result, p.K)
 	sch.routers = make([]*core.Router, p.K)
+	sch.oracles = make([]*oracle.Oracle, p.K)
 	for l := 0; l <= lastDirect; l++ {
 		sig := sigma
 		if l == p.K-1 && len(sch.Levels[l]) > sig {
@@ -247,7 +256,8 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 			return nil, fmt.Errorf("compact: level %d PDE: %w", l, err)
 		}
 		sch.R[l] = r
-		sch.routers[l] = core.NewRouter(g, r)
+		sch.oracles[l] = oracle.Compile(r)
+		sch.routers[l] = core.NewRouterWith(g, r, sch.oracles[l])
 		sch.Rounds.DirectLevels += r.BudgetRounds
 	}
 
@@ -296,7 +306,8 @@ func (sch *Scheme) buildTruncated(p Params, hFor func(int) int, sigma int, lnN f
 	if err != nil {
 		return fmt.Errorf("compact: skeleton PDE: %w", err)
 	}
-	sch.skelRouter = core.NewRouter(sch.G, sch.SkelR)
+	sch.skelOracle = oracle.Compile(sch.SkelR)
+	sch.skelRouter = core.NewRouterWith(sch.G, sch.SkelR, sch.skelOracle)
 	sch.Rounds.SkeletonPDE = sch.SkelR.BudgetRounds
 
 	// G̃(l0): mutual detections, max estimate as weight.
@@ -440,7 +451,7 @@ func (sch *Scheme) buildTruncated(p Params, hFor func(int) int, sigma int, lnN f
 // it exists; for truncated levels it is the Lemma 4.10 combination.
 func (sch *Scheme) levelEstimate(x int, l int, s int32) (float64, bool) {
 	if sch.R[l] != nil {
-		e, ok := sch.R[l].Estimate(x, s)
+		e, ok := sch.oracles[l].Estimate(x, s)
 		if !ok {
 			return 0, false
 		}

@@ -15,12 +15,10 @@ type Route struct {
 	Level int
 }
 
-// Stretch returns Weight / exact.
+// Stretch returns Weight / exact (+Inf when exact is zero but the route
+// has positive weight).
 func (r *Route) Stretch(exact graph.Weight) float64 {
-	if exact == 0 {
-		return 1
-	}
-	return float64(r.Weight) / float64(exact)
+	return graph.Stretch(r.Weight, exact)
 }
 
 // inBunch reports whether (d, s) beats v's level-(l+1) pivot, i.e.

@@ -154,13 +154,47 @@ func HPrimeFor(h int, eps float64) int {
 	return int(math.Ceil((1 + eps) * (1 + eps) * float64(h) / eps))
 }
 
-// NumInstances returns i_max + 1 for the given maximum weight.
+// NumInstances returns i_max + 1 for the given maximum weight: i_max is the
+// smallest i with b(i) = (1+ε)^i ≥ w_max under the same math.Pow that Run
+// uses for the bases. A raw ⌈log(w_max)/log(1+ε)⌉ can round up at w_max
+// near exact powers of 1+ε and build a spurious extra detection instance
+// (wasted rounds and messages), so the log form only seeds the answer and
+// a few Pow probes settle the exact crossing — O(1) even for tiny ε,
+// where a pure multiplicative loop would spin ~ln(w_max)/ε iterations.
 func NumInstances(maxW graph.Weight, eps float64) int {
-	if maxW <= 1 {
+	if maxW <= 1 || 1+eps == 1 {
+		// Degenerate ε (positive but below float64 resolution) makes every
+		// base 1 and no i could ever reach w_max; Run rejects such ε up
+		// front, and this clamp keeps the exported helper total.
 		return 1
 	}
-	return int(math.Ceil(math.Log(float64(maxW))/math.Log(1+eps))) + 1
+	// Seed with log of the SAME rounded base Pow exponentiates — not
+	// Log1p(eps), whose extra precision diverges from Pow's base by up to
+	// ~1e-4 relative near float64 resolution and would put the seed
+	// astronomically far from the Pow crossing. Pow and Log still drift
+	// apart by ~1e-8 relative at huge exponents, so the bounded correction
+	// guarantees exactness only for hierarchies Run accepts (depth ≤
+	// maxHierarchyInstances, where the drift is far below one iteration);
+	// beyond that the result is approximate but still O(1) and monotone
+	// enough for the rejection check.
+	i := int(math.Ceil(math.Log(float64(maxW)) / math.Log(1+eps)))
+	if i < 0 {
+		i = 0
+	}
+	for steps := 0; steps < 256 && i > 0 && math.Pow(1+eps, float64(i-1)) >= float64(maxW); steps++ {
+		i--
+	}
+	for steps := 0; steps < 256 && math.Pow(1+eps, float64(i)) < float64(maxW); steps++ {
+		i++
+	}
+	return i + 1
 }
+
+// maxHierarchyInstances rejects rounding hierarchies so deep that building
+// them would grind for hours (ε pathologically small relative to w_max):
+// the caller gets a clear error instead of a silent multi-hour spin or an
+// allocation panic.
+const maxHierarchyInstances = 1 << 16
 
 // Run executes PDE on g. It is deterministic: the same graph and
 // parameters always produce the same output, rounds and messages — the
@@ -172,6 +206,9 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 	}
 	if !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 1) {
 		return nil, fmt.Errorf("core: epsilon %v must be positive and finite", p.Epsilon)
+	}
+	if 1+p.Epsilon == 1 {
+		return nil, fmt.Errorf("core: epsilon %v is below float64 resolution (1+ε == 1)", p.Epsilon)
 	}
 	if p.H < 0 || p.Sigma < 0 {
 		return nil, fmt.Errorf("core: negative H=%d or Sigma=%d", p.H, p.Sigma)
@@ -212,6 +249,10 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 
 	// The rounding hierarchy.
 	num := NumInstances(maxW, p.Epsilon)
+	if num > maxHierarchyInstances {
+		return nil, fmt.Errorf("core: epsilon %v needs %d rounding instances for w_max %d (limit %d)",
+			p.Epsilon, num, maxW, maxHierarchyInstances)
+	}
 	res.Instances = make([]*Instance, 0, num)
 	for i := 0; i < num; i++ {
 		base := math.Pow(1+p.Epsilon, float64(i))

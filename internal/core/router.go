@@ -6,6 +6,15 @@ import (
 	"pde/internal/graph"
 )
 
+// Estimator answers point distance queries against a built PDE table.
+// *Result is the reference implementation (a linear scan over every
+// instance's list); internal/oracle compiles a Result into a flat indexed
+// form that answers the same queries in O(log σ) and plugs in here via
+// NewRouterWith. Implementations must be bit-identical to Result.Estimate.
+type Estimator interface {
+	Estimate(v int, s int32) (Estimate, bool)
+}
+
 // Router realizes Corollary 3.5's stateless stretch-(1+ε) routing: each
 // node keeps its per-instance detection lists, and forwards a packet for
 // source s to the recorded next hop of whichever instance currently gives
@@ -15,20 +24,35 @@ import (
 type Router struct {
 	g   *graph.Graph
 	res *Result
+	est Estimator
 }
 
-// NewRouter wraps a PDE result for route evaluation.
+// NewRouter wraps a PDE result for route evaluation, serving hop decisions
+// from the legacy scan path (Result.Estimate).
 func NewRouter(g *graph.Graph, res *Result) *Router {
-	return &Router{g: g, res: res}
+	return NewRouterWith(g, res, res)
+}
+
+// NewRouterWith wraps a PDE result but serves hop decisions from est (an
+// indexed oracle compiled from res). res is still consulted for route
+// bookkeeping (step bounds).
+func NewRouterWith(g *graph.Graph, res *Result, est Estimator) *Router {
+	return &Router{g: g, res: res, est: est}
 }
 
 // NextHop returns the neighbor to which v forwards a packet destined for
 // s, and whether v has any table entry for s at all.
+//
+// Terminal semantics: when v == s the packet has arrived and NextHop
+// returns (v, true). A returned next hop equal to the queried node always
+// and only means "delivered" — callers driving their own forwarding loop
+// must treat next == v as the stop condition rather than look up the
+// (nonexistent) self-edge.
 func (r *Router) NextHop(v int, s int32) (int, bool) {
 	if v == int(s) {
 		return v, true
 	}
-	e, ok := r.res.Estimate(v, s)
+	e, ok := r.est.Estimate(v, s)
 	if !ok || e.Via < 0 {
 		return -1, false
 	}
@@ -41,18 +65,19 @@ type Route struct {
 	Weight graph.Weight
 }
 
-// Stretch returns Weight / exact, the route's stretch.
+// Stretch returns Weight / exact, the route's stretch (+Inf when exact is
+// zero but the route has positive weight).
 func (rt *Route) Stretch(exact graph.Weight) float64 {
-	if exact == 0 {
-		return 1
-	}
-	return float64(rt.Weight) / float64(exact)
+	return graph.Stretch(rt.Weight, exact)
 }
 
 // Route forwards from v to s hop by hop using only local tables, exactly
-// as a packet would travel. It fails if some intermediate node has no
-// entry for s or a loop is detected (neither can happen for s in v's
-// output list; the error paths exist to surface bugs, not to be handled).
+// as a packet would travel. A next hop equal to the current node is the
+// terminal signal (see NextHop); it can only legitimately occur at s, so
+// anywhere else it is reported as a routing bug instead of being passed to
+// EdgeBetween. It fails if some intermediate node has no entry for s or a
+// loop is detected (neither can happen for s in v's output list; the error
+// paths exist to surface bugs, not to be handled).
 func (r *Router) Route(v int, s int32) (*Route, error) {
 	maxSteps := r.g.N() * (len(r.res.Instances) + 2)
 	rt := &Route{Path: []int{v}}
@@ -64,6 +89,9 @@ func (r *Router) Route(v int, s int32) (*Route, error) {
 		next, ok := r.NextHop(cur, s)
 		if !ok {
 			return nil, fmt.Errorf("core: node %d has no table entry for %d (route from %d)", cur, s, v)
+		}
+		if next == cur {
+			return nil, fmt.Errorf("core: node %d returned itself as next hop for %d before arrival", cur, s)
 		}
 		edge, ok := r.g.EdgeBetween(cur, next)
 		if !ok {

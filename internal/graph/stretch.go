@@ -1,0 +1,41 @@
+package graph
+
+import "math"
+
+// Stretch returns routed / exact, the multiplicative stretch of a route of
+// total weight routed against the exact distance. A zero exact distance
+// (source equals destination) yields 1 when the route also has zero weight
+// and +Inf otherwise: a route that moved at all against a zero baseline has
+// unbounded stretch, and reporting 1 would silently hide a routing bug.
+// Every Route type in core, rtc and compact delegates here.
+func Stretch(routed, exact Weight) float64 {
+	if exact == 0 {
+		if routed == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(routed) / float64(exact)
+}
+
+// IDBits returns the number of bits needed to address n distinct ids,
+// at least 1.
+func IDBits(n int) int {
+	b := 1
+	for n > 1<<b {
+		b++
+	}
+	return b
+}
+
+// DistBits returns the number of bits needed to encode an integer distance
+// in [0, maxDist], at least 1 and at most 63. The loop is bounded: for
+// maxDist ≥ 2^63−1 (including +Inf) it returns 63 instead of spinning on a
+// shifted-out (negative) probe value.
+func DistBits(maxDist float64) int {
+	b := 1
+	for b < 63 && float64(int64(1)<<b) < maxDist+1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStretch(t *testing.T) {
+	if got := Stretch(0, 0); got != 1 {
+		t.Errorf("Stretch(0, 0) = %v, want 1", got)
+	}
+	if got := Stretch(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("Stretch(5, 0) = %v, want +Inf", got)
+	}
+	if got := Stretch(6, 4); got != 1.5 {
+		t.Errorf("Stretch(6, 4) = %v, want 1.5", got)
+	}
+	if got := Stretch(4, 4); got != 1 {
+		t.Errorf("Stretch(4, 4) = %v, want 1", got)
+	}
+}
+
+func TestIDBits(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{64, 6}, {65, 7}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := IDBits(c.n); got != c.want {
+			t.Errorf("IDBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestDistBitsBounded checks the loop terminates (at 63) for distances
+// at or beyond the int64 shift range instead of spinning on a negative
+// probe, and stays exact below it.
+func TestDistBitsBounded(t *testing.T) {
+	cases := []struct {
+		maxDist float64
+		want    int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1 << 20, 21},
+		{math.MaxFloat64, 63},
+		{math.Inf(1), 63},
+		{float64(math.MaxInt64), 63},
+	}
+	for _, c := range cases {
+		if got := DistBits(c.maxDist); got != c.want {
+			t.Errorf("DistBits(%g) = %d, want %d", c.maxDist, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"runtime"
+	"sync"
+
+	"pde/internal/core"
+)
+
+// Query is one point lookup: node V asking about source S.
+type Query struct {
+	V int
+	S int32
+}
+
+// Answer is the result of one Query.
+type Answer struct {
+	Est core.Estimate
+	OK  bool
+}
+
+// AnswerAll serves qs sequentially into out (which must have len(qs)
+// entries). It allocates nothing, so tight serving loops can reuse
+// buffers across batches.
+func (o *Oracle) AnswerAll(qs []Query, out []Answer) {
+	for i, q := range qs {
+		out[i].Est, out[i].OK = o.Estimate(q.V, q.S)
+	}
+}
+
+// AnswerParallel serves qs across workers goroutines (GOMAXPROCS when
+// workers <= 0) and returns the answers in query order. The oracle is
+// immutable, so the workers share it without synchronization; only the
+// disjoint output chunks are written.
+func (o *Oracle) AnswerParallel(qs []Query, workers int) []Answer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Answer, len(qs))
+	if workers == 1 || len(qs) < 2*workers {
+		o.AnswerAll(qs, out)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(qs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(qs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			o.AnswerAll(qs[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

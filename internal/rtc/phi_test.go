@@ -1,0 +1,70 @@
+package rtc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pde/internal/graph"
+)
+
+// TestPhiTableMatchesScan asserts the precomputed potential tables agree
+// with the phiScan reference on every (node, target) pair, and that the
+// scheme actually built them at test scale.
+func TestPhiTableMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(45, 0.08, 20, rng)
+	sch := buildScheme(t, g, 2, 9)
+	if sch.phiVal == nil {
+		t.Fatalf("phi tables not built for n=%d, |S|=%d", g.N(), len(sch.Skeleton))
+	}
+	for target := range sch.Skeleton {
+		for x := 0; x < g.N(); x++ {
+			tv, tArg, tOK := sch.phi(x, target)
+			sv, sArg, sOK := sch.phiScan(x, target)
+			if tOK != sOK || tArg != sArg {
+				t.Fatalf("phi(%d, %d): table (%v,%d,%v) scan (%v,%d,%v)", x, target, tv, tArg, tOK, sv, sArg, sOK)
+			}
+			if tOK && tv != sv {
+				t.Fatalf("phi(%d, %d): table value %v != scan %v", x, target, tv, sv)
+			}
+		}
+	}
+}
+
+// TestPhiScanFallback forces the scan path (as an over-budget scheme
+// would use) and checks routing still delivers: the table is an
+// optimization, not a behavioral fork.
+func TestPhiScanFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnected(40, 0.1, 15, rng)
+	sch := buildScheme(t, g, 2, 13)
+	sch.phiVal, sch.phiArg = nil, nil
+	for v := 0; v < g.N(); v++ {
+		for w := 0; w < g.N(); w++ {
+			rt, err := sch.Route(v, sch.Labels[w])
+			if err != nil {
+				t.Fatalf("route %d->%d without phi tables: %v", v, w, err)
+			}
+			if rt.Path[len(rt.Path)-1] != w {
+				t.Fatalf("route %d->%d ended at %d", v, w, rt.Path[len(rt.Path)-1])
+			}
+		}
+	}
+}
+
+// TestRTCLabelBitsBounded pins the bounded distance-width loop: encoding
+// a label against an astronomically large maxDist must terminate and cap
+// the distance field at 63 bits.
+func TestRTCLabelBitsBounded(t *testing.T) {
+	l := Label{Node: 1, Skel: 2}
+	finite := l.Bits(64, 100)
+	huge := l.Bits(64, math.MaxFloat64)
+	inf := l.Bits(64, math.Inf(1))
+	if huge != inf {
+		t.Fatalf("Bits(MaxFloat64) = %d != Bits(+Inf) = %d", huge, inf)
+	}
+	if huge-finite != 63-graph.DistBits(100) {
+		t.Fatalf("huge maxDist added %d bits, want %d", huge-finite, 63-graph.DistBits(100))
+	}
+}

@@ -16,12 +16,10 @@ type Route struct {
 	ShortHops, LongHops, TreeHops int
 }
 
-// Stretch returns Weight / exact.
+// Stretch returns Weight / exact (+Inf when exact is zero but the route
+// has positive weight).
 func (r *Route) Stretch(exact graph.Weight) float64 {
-	if exact == 0 {
-		return 1
-	}
-	return float64(r.Weight) / float64(exact)
+	return graph.Stretch(r.Weight, exact)
 }
 
 // spanDist returns the globally-known spanner distance between two
@@ -30,10 +28,61 @@ func (sch *Scheme) spanDist(i, j int) graph.Weight {
 	return sch.SpanSP[j].Dist[i]
 }
 
+// maxPhiTableEntries bounds the n·|S| footprint of the precomputed
+// potential tables and maxPhiBuildWork bounds their construction cost
+// (|S| · total skeleton-list entries inner iterations); schemes past
+// either bound fall back to the scan so Build never pays minutes of
+// precompute for tables the caller may never query.
+const (
+	maxPhiTableEntries = 1 << 22
+	maxPhiBuildWork    = 1 << 26
+)
+
+// buildPhiTables precomputes phi for every (target, node) pair where the
+// table fits: one flat float64+int32 row per skeleton target, so forwarded
+// hops and distance queries read the potential in O(1) instead of
+// rescanning x's skeleton table against the spanner distances.
+func (sch *Scheme) buildPhiTables() {
+	n := sch.G.N()
+	k := len(sch.Skeleton)
+	if k == 0 || n*k > maxPhiTableEntries {
+		return
+	}
+	listEntries := 0
+	for x := 0; x < n; x++ {
+		listEntries += len(sch.B.Lists[x])
+	}
+	if k*listEntries > maxPhiBuildWork {
+		return
+	}
+	sch.phiVal = make([][]float64, k)
+	sch.phiArg = make([][]int32, k)
+	for j := 0; j < k; j++ {
+		val := make([]float64, n)
+		arg := make([]int32, n)
+		for x := 0; x < n; x++ {
+			val[x], arg[x], _ = sch.phiScan(x, j)
+		}
+		sch.phiVal[j] = val
+		sch.phiArg[j] = arg
+	}
+}
+
 // phi is the long-range potential of x for destination skeleton node
 // target (H index): min over x's skeleton-table entries t of
 // wd'_S(x,t) + spannerDist(t, target). It also returns the argmin entry.
+// Served from the precomputed tables when available; phiScan is the
+// reference implementation.
 func (sch *Scheme) phi(x int, target int) (float64, int32, bool) {
+	if sch.phiVal != nil {
+		t := sch.phiArg[target][x]
+		return sch.phiVal[target][x], t, t >= 0
+	}
+	return sch.phiScan(x, target)
+}
+
+// phiScan computes phi by scanning x's skeleton-table entries.
+func (sch *Scheme) phiScan(x int, target int) (float64, int32, bool) {
 	best := math.Inf(1)
 	var bestT int32 = -1
 	for _, e := range sch.B.Lists[x] {
@@ -163,7 +212,7 @@ func (sch *Scheme) DistEstimate(v int, dst Label) (float64, error) {
 		return 0, nil
 	}
 	best := math.Inf(1)
-	if e, ok := sch.A.Estimate(v, dst.Node); ok {
+	if e, ok := sch.oraA.Estimate(v, dst.Node); ok {
 		best = e.Dist
 	}
 	if target, ok := sch.SkelIndex[dst.Skel]; ok {

@@ -35,6 +35,7 @@ import (
 	"pde/internal/congest"
 	"pde/internal/core"
 	"pde/internal/graph"
+	"pde/internal/oracle"
 	"pde/internal/spanner"
 	"pde/internal/treelabel"
 )
@@ -70,17 +71,11 @@ type Label struct {
 }
 
 // Bits returns the label's encoded size: 2 node ids, one distance, one
-// tree label — O(log n).
+// tree label — O(log n). The id and distance widths come from the shared
+// graph helpers (the distance loop is bounded, so huge maxDist cannot spin
+// the shift past 63 bits).
 func (l Label) Bits(n int, maxDist float64) int {
-	idBits := 1
-	for 1<<idBits < n {
-		idBits++
-	}
-	distBits := 1
-	for float64(int64(1)<<distBits) < maxDist+1 {
-		distBits++
-	}
-	return 2*idBits + distBits + l.Tree.Bits(n)
+	return 2*graph.IDBits(n) + graph.DistBits(maxDist) + l.Tree.Bits(n)
 }
 
 // RoundBreakdown itemizes the construction cost in CONGEST rounds.
@@ -117,8 +112,17 @@ type Scheme struct {
 	// Labels[v] is λ(v).
 	Labels []Label
 	Rounds RoundBreakdown
-	// routers reused for hop decisions.
+	// routers reused for hop decisions, backed by the compiled oracles.
 	routerA, routerB *core.Router
+	// oraA / oraB are the flat indexed views of A and B serving all hot
+	// query paths (NextHop, DistEstimate, phi).
+	oraA, oraB *oracle.Oracle
+	// phiVal/phiArg[j][x] precompute the long-range potential Φ and its
+	// argmin skeleton node for every (target H-index j, node x) pair when
+	// the table fits (see buildPhiTables); nil otherwise, in which case
+	// phi falls back to the phiScan reference.
+	phiVal [][]float64
+	phiArg [][]int32
 }
 
 // Build constructs the scheme.
@@ -225,9 +229,14 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 		sch.SpanSP[i] = graph.Dijkstra(sub, i)
 	}
 
-	// 5. Trees and labels.
-	sch.routerA = core.NewRouter(g, sch.A)
-	sch.routerB = core.NewRouter(g, sch.B)
+	// 5. Trees and labels. Hop decisions and point queries are served from
+	// the compiled oracles; the legacy scan paths remain the correctness
+	// reference in tests.
+	sch.oraA = oracle.Compile(sch.A)
+	sch.oraB = oracle.Compile(sch.B)
+	sch.routerA = core.NewRouterWith(g, sch.A, sch.oraA)
+	sch.routerB = core.NewRouterWith(g, sch.B, sch.oraB)
+	sch.buildPhiTables()
 	if err := sch.buildTreesAndLabels(); err != nil {
 		return nil, err
 	}

@@ -29,6 +29,7 @@ import (
 	"pde/internal/core"
 	"pde/internal/detection"
 	"pde/internal/graph"
+	"pde/internal/oracle"
 	"pde/internal/rtc"
 	"pde/internal/spanner"
 	"pde/internal/treelabel"
@@ -58,6 +59,15 @@ type (
 	Estimate = core.Estimate
 	// Router is the Corollary 3.5 stretch-(1+ε) stateless router.
 	Router = core.Router
+
+	// Oracle is a flat, immutable index compiled from an Estimation: it
+	// answers the same Estimate/Lookup/NextHop queries as the result's
+	// scan paths in O(log σ) per call and is safe for concurrent readers.
+	Oracle = oracle.Oracle
+	// OracleQuery / OracleAnswer are the batch-serving request/response
+	// pair of Oracle.AnswerAll and Oracle.AnswerParallel.
+	OracleQuery  = oracle.Query
+	OracleAnswer = oracle.Answer
 
 	// DetectionParams configures raw unweighted/virtual source detection.
 	DetectionParams = detection.Params
@@ -122,8 +132,18 @@ func ApproxAPSP(g *Graph, eps float64, cfg Config) (*Estimation, error) {
 	return core.Run(g, core.APSPParams(g.N(), eps), cfg)
 }
 
-// NewRouter wraps an estimation result for stretch-(1+ε) routing.
+// NewRouter wraps an estimation result for stretch-(1+ε) routing. It is a
+// free wrapper: hop decisions use the result's scan path, which is the
+// right trade for routing a few packets. For heavy routing or query
+// traffic, compile the tables once and route from the index:
+// CompileOracle(res).Router(g, res).
 func NewRouter(g *Graph, res *Estimation) *Router { return core.NewRouter(g, res) }
+
+// CompileOracle flattens an estimation result into an indexed, immutable
+// distance oracle for heavy query traffic (§2.4: distance queries answered
+// from local tables). To also route from the same index without compiling
+// twice, use the oracle's Router method instead of NewRouter.
+func CompileOracle(res *Estimation) *Oracle { return oracle.Compile(res) }
 
 // BuildRoutingScheme constructs Theorem 4.5 routing tables: stretch
 // 6k−1+o(1), O(log n)-bit labels, Õ(n^{1/2+1/(4k)} + D) rounds.
