@@ -8,6 +8,11 @@
 // speedup, and fails if any output or cost counter diverges between the
 // two — the benchmark doubles as an end-to-end determinism check.
 //
+// Build scenarios (BENCH_build_*.json, schema "pde-build/v1", see
+// internal/bench/build.go) measure the table-build pipeline: the same PDE
+// construction built sequentially and on the rounding-instance worker
+// pool, with a fingerprint equality check between the two.
+//
 // Query scenarios (BENCH_query_*.json, schema "pde-query/v1", see
 // internal/bench/query.go) measure the serving side: they build the
 // tables once, then drive the same query stream through the legacy scan
@@ -15,20 +20,28 @@
 //
 // Usage:
 //
-//	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-seq-baseline=false]
+//	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-workers n]
+//	          [-seq-baseline=false] [-check dir]
 //
 //	-quick         run only the small CI smoke subset
 //	-filter s      run only scenarios whose name contains s
 //	-out dir       directory for BENCH_*.json files (default ".")
 //	-list          print the matrix and exit
+//	-workers n     worker-pool width for the parallel build scenarios
+//	               (0 = GOMAXPROCS)
 //	-seq-baseline  also run the sequential engine for a speedup baseline
 //	               and cross-engine output check (default true)
+//	-check dir     after each scenario, compare the deterministic fields
+//	               (fingerprint, rounds, messages, instances) against the
+//	               committed BENCH_*.json in dir and fail on divergence —
+//	               the CI bench-regression guard
 //
 // The process exits non-zero if any scenario errors, so a CI job running
 // it fails loudly rather than uploading partial results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,46 +52,96 @@ import (
 	"pde/internal/bench"
 )
 
+// deterministicFields are the report keys that must not drift between a
+// rebuild and the committed artifact. Wall-clock and throughput fields are
+// machine-dependent and deliberately absent.
+var deterministicFields = []string{
+	"schema", "fingerprint", "n", "m", "seed",
+	"active_rounds", "budget_rounds", "messages", "message_bits",
+	"instances", "queries",
+}
+
+// checkAgainst compares the fresh report's deterministic fields with the
+// committed artifact of the same name under dir. A missing committed file
+// is an error: the guard exists to force artifacts to stay in lockstep
+// with the code.
+func checkAgainst(dir, filename string, fresh []byte) error {
+	committed, err := os.ReadFile(filepath.Join(dir, filename))
+	if err != nil {
+		return fmt.Errorf("no committed artifact to check against: %w", err)
+	}
+	var want, got map[string]any
+	if err := json.Unmarshal(committed, &want); err != nil {
+		return fmt.Errorf("committed %s: %w", filename, err)
+	}
+	if err := json.Unmarshal(fresh, &got); err != nil {
+		return fmt.Errorf("fresh %s: %w", filename, err)
+	}
+	for _, key := range deterministicFields {
+		w, inWant := want[key]
+		g, inGot := got[key]
+		if !inWant && !inGot {
+			continue
+		}
+		if inWant != inGot || w != g {
+			return fmt.Errorf("%s: %s diverged from committed artifact: committed %v, rebuilt %v",
+				filename, key, w, g)
+		}
+	}
+	return nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run only the CI smoke subset")
 	filter := flag.String("filter", "", "run only scenarios whose name contains this substring")
 	out := flag.String("out", ".", "output directory for BENCH_*.json files")
 	list := flag.Bool("list", false, "print the scenario matrix and exit")
+	workers := flag.Int("workers", 0, "worker-pool width for parallel build scenarios (0 = GOMAXPROCS)")
 	seqBaseline := flag.Bool("seq-baseline", true, "also run the sequential engine for speedup + cross-engine check")
+	check := flag.String("check", "", "directory of committed BENCH_*.json to verify deterministic fields against")
 	flag.Parse()
 
+	keep := func(name string, q bool) bool {
+		if *quick && !q {
+			return false
+		}
+		return *filter == "" || strings.Contains(name, *filter)
+	}
 	scenarios := bench.Scenarios()
 	selected := scenarios[:0]
 	for _, s := range scenarios {
-		if *quick && !s.Quick {
-			continue
+		if keep(s.Name, s.Quick) {
+			selected = append(selected, s)
 		}
-		if *filter != "" && !strings.Contains(s.Name, *filter) {
-			continue
+	}
+	builds := bench.BuildScenarios()
+	selectedB := builds[:0]
+	for _, s := range builds {
+		if keep(s.Name, s.Quick) {
+			selectedB = append(selectedB, s)
 		}
-		selected = append(selected, s)
 	}
 	queries := bench.QueryScenarios()
 	selectedQ := queries[:0]
 	for _, s := range queries {
-		if *quick && !s.Quick {
-			continue
+		if keep(s.Name, s.Quick) {
+			selectedQ = append(selectedQ, s)
 		}
-		if *filter != "" && !strings.Contains(s.Name, *filter) {
-			continue
-		}
-		selectedQ = append(selectedQ, s)
 	}
 	if *list {
 		for _, s := range selected {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
+		}
+		for _, s := range selectedB {
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "build", s.Topology, s.N, s.Quick)
 		}
 		for _, s := range selectedQ {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "query/"+s.Workload, s.Topology, s.N, s.Quick)
 		}
 		return
 	}
-	if len(selected)+len(selectedQ) == 0 {
+	total := len(selected) + len(selectedB) + len(selectedQ)
+	if total == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
 	}
@@ -87,26 +150,41 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d query), GOMAXPROCS=%d\n",
-		len(selected)+len(selectedQ), len(selected), len(selectedQ), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query), GOMAXPROCS=%d\n",
+		total, len(selected), len(selectedB), len(selectedQ), runtime.GOMAXPROCS(0))
 	failed := 0
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
+		failed++
+	}
+	// writeAndCheck persists one report and, with -check, verifies its
+	// deterministic fields against the committed artifact. It reports
+	// whether the scenario fully succeeded.
+	writeAndCheck := func(name, filename string, data []byte) bool {
+		if err := os.WriteFile(filepath.Join(*out, filename), append(data, '\n'), 0o644); err != nil {
+			fail(name, fmt.Errorf("write: %w", err))
+			return false
+		}
+		if *check != "" {
+			if err := checkAgainst(*check, filename, data); err != nil {
+				fail(name, fmt.Errorf("regression check: %w", err))
+				return false
+			}
+		}
+		return true
+	}
 	for _, s := range selected {
 		rep, err := bench.RunScenario(s, *seqBaseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", s.Name, err)
-			failed++
+			fail(s.Name, err)
 			continue
 		}
 		data, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: marshal: %v\n", s.Name, err)
-			failed++
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
 			continue
 		}
-		path := filepath.Join(*out, rep.Filename())
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: write: %v\n", s.Name, err)
-			failed++
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
 			continue
 		}
 		line := fmt.Sprintf("ok   %-28s rounds=%-6d msgs=%-9d wall=%.1fms",
@@ -116,24 +194,37 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
-	queryCache := bench.NewQueryCache()
-	for _, s := range selectedQ {
-		rep, err := bench.RunQueryScenario(s, queryCache)
+	for _, s := range selectedB {
+		rep, err := bench.RunBuildScenario(s, *workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", s.Name, err)
-			failed++
+			fail(s.Name, err)
 			continue
 		}
 		data, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: marshal: %v\n", s.Name, err)
-			failed++
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
 			continue
 		}
-		path := filepath.Join(*out, rep.Filename())
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: write: %v\n", s.Name, err)
-			failed++
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok   %-28s instances=%-3d workers=%d seq=%.1fms par=%.1fms speedup=%.2fx fp=%s\n",
+			s.Name, rep.Instances, rep.Workers,
+			float64(rep.SeqBuildNS)/1e6, float64(rep.ParBuildNS)/1e6, rep.Speedup, rep.Fingerprint)
+	}
+	queryCache := bench.NewQueryCache()
+	for _, s := range selectedQ {
+		rep, err := bench.RunQueryScenario(s, queryCache)
+		if err != nil {
+			fail(s.Name, err)
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
+			continue
+		}
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
 			continue
 		}
 		line := fmt.Sprintf("ok   %-28s queries=%-8d legacy=%.2fMq/s oracle=%.2fMq/s speedup=%.1fx",
@@ -144,7 +235,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, line)
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, len(selected)+len(selectedQ))
+		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, total)
 		os.Exit(1)
 	}
 }

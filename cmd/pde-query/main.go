@@ -6,19 +6,25 @@
 //
 // Usage:
 //
-//	pde-query [-n 256] [-topology random|grid|internet|ring] [-eps 0.5]
-//	          [-maxw 16] [-h 0] [-sigma 0] [-queries 1000000]
-//	          [-workers 1] [-workload estimate|nexthop|route]
-//	          [-seed 1] [-legacy] [-json]
+//	pde-query [-n 256] [-topology random|grid|internet|ring|powerlaw|
+//	          community|roadgrid] [-eps 0.5] [-maxw 16] [-h 0] [-sigma 0]
+//	          [-queries 1000000] [-workers 1] [-build-workers 0]
+//	          [-workload estimate|nexthop|route] [-seed 1] [-legacy] [-json]
 //
 //	-h/-sigma 0   means full APSP (S = V, h = σ = n); positive values run
 //	              a partial sweep with every third node a source
+//	-n            node count. The grid and roadgrid topologies round n up
+//	              to the next perfect square; the emitted n field reports
+//	              the actual size
 //	-workers N    fan the estimate workload's oracle pass across N
 //	              goroutines (0 = GOMAXPROCS). The legacy scan path and
 //	              the nexthop/route workloads are always single-threaded,
 //	              so leave the default of 1 when comparing a run against
 //	              its -legacy twin apples-to-apples; workers > 1 measures
 //	              the additional concurrent-serving headroom on top.
+//	-build-workers N  worker-pool width of the parallel table build (the
+//	              rounding-instance pipeline; 0 = GOMAXPROCS). The build is
+//	              bit-identical at any width; this only moves build_ns.
 //	-legacy       serve from the legacy scan path instead of the oracle
 //	-json         emit a machine-readable summary instead of prose
 package main
@@ -47,6 +53,8 @@ type summary struct {
 	Workers       int     `json:"workers"`
 	Legacy        bool    `json:"legacy"`
 	BuildNS       int64   `json:"build_ns"`
+	BuildWorkers  int     `json:"build_workers"`
+	BuildFP       string  `json:"build_fingerprint"`
 	OracleBuildNS int64   `json:"oracle_build_ns"`
 	OracleBytes   int64   `json:"oracle_bytes"`
 	OracleEntries int     `json:"oracle_entries"`
@@ -57,13 +65,14 @@ type summary struct {
 
 func main() {
 	n := flag.Int("n", 256, "number of nodes")
-	topology := flag.String("topology", "random", "random | grid | internet | ring")
+	topology := flag.String("topology", "random", "random | grid | internet | ring | powerlaw | community | roadgrid")
 	eps := flag.Float64("eps", 0.5, "PDE approximation slack")
 	maxW := flag.Int64("maxw", 16, "maximum edge weight")
 	h := flag.Int("h", 0, "hop bound (0 = APSP)")
 	sigma := flag.Int("sigma", 0, "list size (0 = APSP)")
 	queries := flag.Int("queries", 1_000_000, "number of queries to fire")
 	workers := flag.Int("workers", 1, "oracle estimate-pass fan-out; 1 = apples-to-apples vs -legacy (0 = GOMAXPROCS)")
+	buildWorkers := flag.Int("build-workers", 0, "parallel table-build worker-pool width (0 = GOMAXPROCS)")
 	workload := flag.String("workload", "estimate", "estimate | nexthop | route")
 	seed := flag.Int64("seed", 1, "graph and query stream seed")
 	legacy := flag.Bool("legacy", false, "serve from the legacy scan path instead of the oracle")
@@ -85,6 +94,16 @@ func main() {
 		g = graph.Internet(*n, graph.Weight(*maxW), rng)
 	case "ring":
 		g = graph.Ring(*n, graph.Weight(*maxW), rng)
+	case "powerlaw":
+		g = graph.BarabasiAlbert(*n, 3, graph.Weight(*maxW), rng)
+	case "community":
+		g = graph.Community(*n, 4, 0.15, 0.01, graph.Weight(*maxW), rng)
+	case "roadgrid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = graph.RoadGrid(side, side, 0.3, graph.Weight(*maxW), rng)
 	default:
 		fmt.Fprintf(os.Stderr, "pde-query: unknown topology %q\n", *topology)
 		os.Exit(2)
@@ -106,8 +125,9 @@ func main() {
 		params = core.Params{IsSource: src, H: hh, Sigma: sig, Epsilon: *eps, CapMessages: true}
 	}
 
+	buildCfg := congest.Config{Parallel: true, Workers: *buildWorkers}
 	t0 := time.Now()
-	res, err := core.Run(g, params, congest.Config{Parallel: true})
+	res, err := core.Run(g, params, buildCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pde-query: build: %v\n", err)
 		os.Exit(1)
@@ -123,6 +143,8 @@ func main() {
 		Workload: *workload, Topology: *topology, N: g.N(), M: g.M(),
 		Queries: *queries, Workers: w, Legacy: *legacy,
 		BuildNS:       buildNS,
+		BuildWorkers:  buildCfg.EffectiveWorkers(),
+		BuildFP:       fmt.Sprintf("%016x", res.Fingerprint()),
 		OracleBuildNS: o.BuildTime.Nanoseconds(),
 		OracleBytes:   o.Bytes(),
 		OracleEntries: o.Entries(),
@@ -226,9 +248,9 @@ func main() {
 	if *legacy {
 		path = "legacy scan"
 	}
-	fmt.Printf("pde-query: %s/%s n=%d m=%d — built tables in %.1fms, oracle in %.2fms (%d entries, %.1f KiB)\n",
+	fmt.Printf("pde-query: %s/%s n=%d m=%d — built tables in %.1fms (%d build workers, fp %s), oracle in %.2fms (%d entries, %.1f KiB)\n",
 		*workload, *topology, g.N(), g.M(),
-		float64(buildNS)/1e6, float64(sum.OracleBuildNS)/1e6,
+		float64(buildNS)/1e6, sum.BuildWorkers, sum.BuildFP, float64(sum.OracleBuildNS)/1e6,
 		sum.OracleEntries, float64(sum.OracleBytes)/1024)
 	fmt.Printf("pde-query: served %d queries from the %s path with %d worker(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
 		*queries, path, w, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)

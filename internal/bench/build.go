@@ -1,0 +1,209 @@
+package bench
+
+// This file benchmarks the *build pipeline*: where BENCH_*.json tracks the
+// distributed cost of one construction and BENCH_query_*.json tracks how
+// fast a built result serves, BENCH_build_*.json tracks how fast this
+// machine can build PDE tables — the wall-clock seam PR 3 parallelized by
+// running the independent rounding instances on a worker pool.
+//
+// # BENCH_build_*.json schema (schema id "pde-build/v1")
+//
+// Every build scenario produces BENCH_<name>.json (names start with
+// "build_") holding one JSON object:
+//
+//	schema             string  – always "pde-build/v1"
+//	name               string  – scenario name (also in the filename)
+//	topology           string  – generator family (random | powerlaw |
+//	                             community | roadgrid | ...)
+//	n, m, seed, params         – instance description, as in pde-bench/v1
+//	instances          int     – rounding instances (i_max + 1) built
+//	workers            int     – worker-pool width of the parallel build
+//	seq_build_ns       int64   – wall clock of the sequential build
+//	par_build_ns       int64   – wall clock of the parallel build
+//	speedup            float64 – seq_build_ns / par_build_ns
+//	oracle_compile_ns  int64   – wall clock of oracle.Compile on the result
+//	                             (the serving side's fixed build cost)
+//	fingerprint        string  – %016x core.Result.Fingerprint() of both
+//	                             builds (they must agree)
+//	fingerprints_match bool    – always true in an emitted report: a
+//	                             sequential/parallel divergence fails the
+//	                             run instead of emitting
+//	gomaxprocs         int     – scheduler width the run observed
+//
+// The fingerprint covers the combined output lists, every instance's
+// detection lists, and the full round/message accounting (see
+// core.Result.Fingerprint), so the committed artifact doubles as a
+// cross-PR determinism regression check: pde-bench -check fails if a
+// rebuild's fingerprint drifts from the committed value.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+)
+
+// BuildSchemaID identifies the build-pipeline report format.
+const BuildSchemaID = "pde-build/v1"
+
+// BuildScenario is one cell of the build benchmark matrix.
+type BuildScenario struct {
+	// Name must start with "build_" so the artifact is BENCH_build_*.json.
+	Name     string
+	Topology string
+	N        int
+	Seed     int64
+	Quick    bool
+	Params   map[string]float64
+	// Build constructs the input graph (deterministic in Seed).
+	Build func() *graph.Graph
+	// PDE returns the estimation parameters for this instance.
+	PDE func(g *graph.Graph) core.Params
+}
+
+// BuildReport is the BENCH_build_*.json payload. See the schema comment.
+type BuildReport struct {
+	Schema            string             `json:"schema"`
+	Name              string             `json:"name"`
+	Topology          string             `json:"topology"`
+	N                 int                `json:"n"`
+	M                 int                `json:"m"`
+	Seed              int64              `json:"seed"`
+	Params            map[string]float64 `json:"params,omitempty"`
+	Instances         int                `json:"instances"`
+	Workers           int                `json:"workers"`
+	SeqBuildNS        int64              `json:"seq_build_ns"`
+	ParBuildNS        int64              `json:"par_build_ns"`
+	Speedup           float64            `json:"speedup"`
+	OracleCompileNS   int64              `json:"oracle_compile_ns"`
+	Fingerprint       string             `json:"fingerprint"`
+	FingerprintsMatch bool               `json:"fingerprints_match"`
+	GoMaxProcs        int                `json:"gomaxprocs"`
+}
+
+// Filename returns the artifact name for this report.
+func (r *BuildReport) Filename() string { return "BENCH_" + r.Name + ".json" }
+
+// JSON marshals the report, indented for human diffing.
+func (r *BuildReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// RunBuildScenario builds the scenario's tables twice — sequentially, then
+// on a worker pool of the given width (0 = GOMAXPROCS) — and reports both
+// wall clocks. The two results' fingerprints must be identical; a mismatch
+// is an error, so the speedup number can never hide a scheduling bug.
+func RunBuildScenario(s BuildScenario, workers int) (*BuildReport, error) {
+	g := s.Build()
+	p := s.PDE(g)
+	rep := &BuildReport{
+		Schema:     BuildSchemaID,
+		Name:       s.Name,
+		Topology:   s.Topology,
+		N:          g.N(),
+		M:          g.M(),
+		Seed:       s.Seed,
+		Params:     s.Params,
+		Workers:    congest.Config{Parallel: true, Workers: workers}.EffectiveWorkers(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if s.N != 0 && s.N != g.N() {
+		return nil, fmt.Errorf("bench %s: scenario says n=%d but graph has %d nodes", s.Name, s.N, g.N())
+	}
+
+	// Each mode runs twice and reports its best wall clock: best-of-N
+	// removes the cold-start bias a single seq-then-par pass would hand
+	// the second build (warmed allocator and caches), which at ~200-400ms
+	// per build can swing the committed speedup by tens of percent.
+	build := func(cfg congest.Config) (*core.Result, int64, error) {
+		best := int64(0)
+		var res *core.Result
+		for attempt := 0; attempt < 2; attempt++ {
+			t0 := time.Now()
+			r, err := core.Run(g, p, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			if ns := time.Since(t0).Nanoseconds(); best == 0 || ns < best {
+				best = ns
+			}
+			res = r
+		}
+		return res, best, nil
+	}
+	seq, seqNS, err := build(congest.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (sequential build): %w", s.Name, err)
+	}
+	par, parNS, err := build(congest.Config{Parallel: true, Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s (parallel build): %w", s.Name, err)
+	}
+	rep.SeqBuildNS, rep.ParBuildNS = seqNS, parNS
+
+	seqFP, parFP := seq.Fingerprint(), par.Fingerprint()
+	if seqFP != parFP {
+		return nil, fmt.Errorf("bench %s: sequential and parallel builds diverge: %016x != %016x",
+			s.Name, seqFP, parFP)
+	}
+	rep.Instances = len(par.Instances)
+	rep.Fingerprint = fmt.Sprintf("%016x", parFP)
+	rep.FingerprintsMatch = true
+	if rep.ParBuildNS > 0 {
+		rep.Speedup = float64(rep.SeqBuildNS) / float64(rep.ParBuildNS)
+	}
+
+	rep.OracleCompileNS = oracle.Compile(par).BuildTime.Nanoseconds()
+	return rep, nil
+}
+
+// sweepParams is the partial-sweep configuration the build matrix uses:
+// every third node a source, h=32, σ=16, ε=0.5 — deep enough (w_max = 64
+// gives 12 rounding instances) that the instance pool has real width to
+// exploit.
+func sweepParams(g *graph.Graph) core.Params {
+	n := g.N()
+	src := make([]bool, n)
+	for v := 0; v < n; v += 3 {
+		src[v] = true
+	}
+	return core.Params{IsSource: src, H: 32, Sigma: 16, Epsilon: 0.5, CapMessages: true}
+}
+
+// BuildScenarios returns the build benchmark matrix: one n=256 scenario
+// per generator family, all in the quick set so CI tracks the
+// sequential-vs-parallel build speedup and the determinism fingerprint on
+// every push.
+func BuildScenarios() []BuildScenario {
+	var list []BuildScenario
+	add := func(s BuildScenario) { list = append(list, s) }
+
+	add(BuildScenario{
+		Name: "build_random-n256", Topology: "random", N: 256, Seed: 31, Quick: true,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 64},
+		Build:  func() *graph.Graph { return graph.RandomConnected(256, 8.0/256, 64, rng(31)) },
+		PDE:    sweepParams,
+	})
+	add(BuildScenario{
+		Name: "build_powerlaw-n256", Topology: "powerlaw", N: 256, Seed: 32, Quick: true,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 64, "attach": 3},
+		Build:  func() *graph.Graph { return graph.BarabasiAlbert(256, 3, 64, rng(32)) },
+		PDE:    sweepParams,
+	})
+	add(BuildScenario{
+		Name: "build_community-n256", Topology: "community", N: 256, Seed: 33, Quick: true,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 64, "k": 4, "pin": 0.1, "pout": 0.005},
+		Build:  func() *graph.Graph { return graph.Community(256, 4, 0.1, 0.005, 64, rng(33)) },
+		PDE:    sweepParams,
+	})
+	add(BuildScenario{
+		Name: "build_roadgrid-16x16", Topology: "roadgrid", N: 256, Seed: 34, Quick: true,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 64, "obstacles": 0.25},
+		Build:  func() *graph.Graph { return graph.RoadGrid(16, 16, 0.25, 64, rng(34)) },
+		PDE:    sweepParams,
+	})
+	return list
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pde/internal/graph"
+)
+
+func TestBuildScenarioNamesAndShape(t *testing.T) {
+	for _, s := range BuildScenarios() {
+		if !strings.HasPrefix(s.Name, "build_") {
+			t.Errorf("build scenario %q must be named build_* so its artifact is BENCH_build_*.json", s.Name)
+		}
+		if s.Build == nil || s.PDE == nil {
+			t.Fatalf("build scenario %q missing Build or PDE", s.Name)
+		}
+	}
+}
+
+func TestRunBuildScenarioReportsSpeedupAndFingerprint(t *testing.T) {
+	// A small instance keeps the double build fast; the report contract is
+	// what is under test, not the speedup magnitude.
+	s := BuildScenario{
+		Name: "build_test-n64", Topology: "random", N: 64, Seed: 99,
+		Params: map[string]float64{"h": 32, "sigma": 16, "eps": 0.5, "maxw": 32},
+		Build:  func() *graph.Graph { return graph.RandomConnected(64, 6.0/64, 32, rng(99)) },
+		PDE:    sweepParams,
+	}
+	rep, err := RunBuildScenario(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BuildSchemaID {
+		t.Errorf("schema %q, want %q", rep.Schema, BuildSchemaID)
+	}
+	if rep.Filename() != "BENCH_build_test-n64.json" {
+		t.Errorf("filename %q", rep.Filename())
+	}
+	if !rep.FingerprintsMatch {
+		t.Error("fingerprints_match must be true in an emitted report")
+	}
+	if len(rep.Fingerprint) != 16 {
+		t.Errorf("fingerprint %q is not a %%016x digest", rep.Fingerprint)
+	}
+	if rep.Workers != 4 {
+		t.Errorf("workers %d, want 4", rep.Workers)
+	}
+	if rep.Instances < 2 {
+		t.Errorf("instances %d: w_max=32, eps=0.5 must give a multi-level hierarchy", rep.Instances)
+	}
+	if rep.SeqBuildNS <= 0 || rep.ParBuildNS <= 0 || rep.Speedup <= 0 {
+		t.Errorf("timings not recorded: seq=%d par=%d speedup=%f", rep.SeqBuildNS, rep.ParBuildNS, rep.Speedup)
+	}
+	// Determinism across repeat runs: the committed artifact's fingerprint
+	// must be reproducible or the CI -check guard would flap.
+	rep2, err := RunBuildScenario(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Fingerprint != rep.Fingerprint {
+		t.Errorf("fingerprint changed across runs: %s != %s", rep.Fingerprint, rep2.Fingerprint)
+	}
+}

@@ -42,13 +42,13 @@ package bench
 // just skew a number.
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"math"
 	"math/rand"
 	"runtime"
 	"time"
+
+	"pde/internal/fingerprint"
 
 	"pde/internal/baseline"
 	"pde/internal/compact"
@@ -109,6 +109,11 @@ type Report struct {
 	SeqWallNS      int64              `json:"seq_wall_ns,omitempty"`
 	Speedup        float64            `json:"speedup,omitempty"`
 	OutputsMatch   *bool              `json:"outputs_match,omitempty"`
+	// Fingerprint is the %016x output digest of the run. It is fully
+	// deterministic (unlike the wall-clock fields), so pde-bench -check
+	// compares it against the committed artifact to catch regressions that
+	// silently change results.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Filename returns the artifact name for this report.
@@ -164,6 +169,7 @@ func RunScenario(s Scenario, compare bool) (*Report, error) {
 	rep.BudgetRounds = parCost.BudgetRounds
 	rep.Messages = parCost.Messages
 	rep.MessageBits = parCost.MessageBits
+	rep.Fingerprint = fmt.Sprintf("%016x", parCost.Fingerprint)
 	if parCost.ActiveRounds > 0 {
 		rep.NSPerRound = float64(rep.WallNS) / float64(parCost.ActiveRounds)
 		rep.AllocsPerRound = float64(ms1.Mallocs-ms0.Mallocs) / float64(parCost.ActiveRounds)
@@ -182,28 +188,10 @@ func RunScenario(s Scenario, compare bool) (*Report, error) {
 	return rep, nil
 }
 
-// fp accumulates an output fingerprint (FNV-1a over little-endian words).
-type fp struct{ h uint64 }
-
-const (
-	fnvOffset64 uint64 = 14695981039346656037
-	fnvPrime64  uint64 = 1099511628211
-)
-
-func newFP() *fp { return &fp{h: fnvOffset64} }
-
-func (f *fp) u64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	for _, c := range b {
-		f.h ^= uint64(c)
-		f.h *= fnvPrime64
-	}
-}
-
-func (f *fp) i64(v int64)   { f.u64(uint64(v)) }
-func (f *fp) f64(v float64) { f.u64(math.Float64bits(v)) }
-func (f *fp) sum() uint64   { return f.h }
+// newFP returns the shared FNV-1a accumulator (internal/fingerprint) —
+// the same hash core.Result.Fingerprint uses, so every digest the -check
+// guard compares comes from one implementation.
+func newFP() *fingerprint.Acc { return fingerprint.New() }
 
 func costOf(active, budget int, messages, bits int64, fingerprint uint64) Cost {
 	return Cost{
@@ -244,19 +232,11 @@ func runSweep(h, sigma int, eps float64) func(*graph.Graph, congest.Config) (Cos
 	}
 }
 
-func pdeFingerprint(res *core.Result) uint64 {
-	f := newFP()
-	for v := range res.Lists {
-		for _, e := range res.Lists[v] {
-			f.i64(int64(v))
-			f.f64(e.Dist)
-			f.i64(int64(e.Src))
-			f.i64(int64(e.Via))
-		}
-	}
-	f.i64(res.MaxBroadcasts())
-	return f.sum()
-}
+// pdeFingerprint delegates to the canonical result digest, which covers
+// the combined lists, every instance's detection output and the full cost
+// accounting — strictly more than the old lists-only hash, so an engine or
+// build-pipeline divergence anywhere in the result fails the bench.
+func pdeFingerprint(res *core.Result) uint64 { return res.Fingerprint() }
 
 func runBellmanFord(g *graph.Graph, cfg congest.Config) (Cost, error) {
 	res, err := baseline.BellmanFordAPSP(g, cfg)
@@ -266,12 +246,12 @@ func runBellmanFord(g *graph.Graph, cfg congest.Config) (Cost, error) {
 	f := newFP()
 	for v := range res.Dist {
 		for s, d := range res.Dist[v] {
-			f.i64(int64(d))
-			f.i64(int64(res.Parent[v][s]))
+			f.I64(int64(d))
+			f.I64(int64(res.Parent[v][s]))
 		}
 	}
 	m := res.Metrics
-	return costOf(m.ActiveRounds, m.BudgetRounds, m.Messages, m.MessageBits, f.sum()), nil
+	return costOf(m.ActiveRounds, m.BudgetRounds, m.Messages, m.MessageBits, f.Sum()), nil
 }
 
 func runFlooding(g *graph.Graph, cfg congest.Config) (Cost, error) {
@@ -282,11 +262,11 @@ func runFlooding(g *graph.Graph, cfg congest.Config) (Cost, error) {
 	f := newFP()
 	for v := range res.Dist {
 		for _, d := range res.Dist[v] {
-			f.i64(int64(d))
+			f.I64(int64(d))
 		}
 	}
 	m := res.Metrics
-	return costOf(m.ActiveRounds, m.BudgetRounds, m.Messages, m.MessageBits, f.sum()), nil
+	return costOf(m.ActiveRounds, m.BudgetRounds, m.Messages, m.MessageBits, f.Sum()), nil
 }
 
 func runRTC(k int, eps, sampleProb float64, seed int64) func(*graph.Graph, congest.Config) (Cost, error) {
@@ -298,13 +278,13 @@ func runRTC(k int, eps, sampleProb float64, seed int64) func(*graph.Graph, conge
 		f := newFP()
 		for v := range sch.Labels {
 			l := &sch.Labels[v]
-			f.i64(int64(l.Node))
-			f.i64(int64(l.Skel))
-			f.f64(l.DistToSkel)
-			f.i64(int64(sch.LabelBits(v)))
+			f.I64(int64(l.Node))
+			f.I64(int64(l.Skel))
+			f.F64(l.DistToSkel)
+			f.I64(int64(sch.LabelBits(v)))
 		}
 		met := mergePDEMetrics(sch.A, sch.B)
-		return costOf(met.active, sch.Rounds.Total, met.messages, met.bits, f.sum()), nil
+		return costOf(met.active, sch.Rounds.Total, met.messages, met.bits, f.Sum()), nil
 	}
 }
 
@@ -319,14 +299,14 @@ func runCompact(k, l0 int, strat compact.Strategy, eps float64, seed int64) func
 		f := newFP()
 		var words int64
 		for v := range sch.Labels {
-			f.i64(int64(sch.Labels[v].Node))
-			f.i64(int64(len(sch.Labels[v].Per)))
-			f.i64(int64(sch.LabelBits(v)))
+			f.I64(int64(sch.Labels[v].Node))
+			f.I64(int64(len(sch.Labels[v].Per)))
+			f.I64(int64(sch.LabelBits(v)))
 			words += int64(sch.TableWords(v))
 		}
-		f.i64(words)
+		f.I64(words)
 		met := mergePDEMetrics(sch.R...)
-		return costOf(met.active, sch.Rounds.Total, met.messages, met.bits, f.sum()), nil
+		return costOf(met.active, sch.Rounds.Total, met.messages, met.bits, f.Sum()), nil
 	}
 }
 
@@ -386,6 +366,34 @@ func Scenarios() []Scenario {
 		Name: "apsp-random-n512", Algorithm: "apsp", Topology: "random", N: 512, Seed: 4,
 		Params: map[string]float64{"eps": 1, "maxw": 4},
 		Build:  func() *graph.Graph { return graph.RandomConnected(512, 8.0/512, 4, rng(4)) },
+		Run:    runAPSP(1),
+	})
+
+	// The PR 3 scenario families: power-law hubs stress the message cap,
+	// planted communities stress the instance hierarchy across the
+	// low-weight/high-weight split, road grids stress long hop radii.
+	add(Scenario{
+		Name: "apsp-powerlaw-n64", Algorithm: "apsp", Topology: "powerlaw", N: 64, Seed: 15, Quick: true,
+		Params: map[string]float64{"eps": 0.5, "maxw": 32, "attach": 3},
+		Build:  func() *graph.Graph { return graph.BarabasiAlbert(64, 3, 32, rng(15)) },
+		Run:    runAPSP(0.5),
+	})
+	add(Scenario{
+		Name: "sweep-community-n96", Algorithm: "pde-sweep", Topology: "community", N: 96, Seed: 16, Quick: true,
+		Params: map[string]float64{"h": 16, "sigma": 8, "eps": 0.5, "maxw": 24, "k": 4, "pin": 0.15, "pout": 0.01},
+		Build:  func() *graph.Graph { return graph.Community(96, 4, 0.15, 0.01, 24, rng(16)) },
+		Run:    runSweep(16, 8, 0.5),
+	})
+	add(Scenario{
+		Name: "sweep-roadgrid-12x12", Algorithm: "pde-sweep", Topology: "roadgrid", N: 144, Seed: 17, Quick: true,
+		Params: map[string]float64{"h": 24, "sigma": 8, "eps": 0.5, "maxw": 16, "obstacles": 0.3},
+		Build:  func() *graph.Graph { return graph.RoadGrid(12, 12, 0.3, 16, rng(17)) },
+		Run:    runSweep(24, 8, 0.5),
+	})
+	add(Scenario{
+		Name: "apsp-powerlaw-n256", Algorithm: "apsp", Topology: "powerlaw", N: 256, Seed: 18,
+		Params: map[string]float64{"eps": 1, "maxw": 8, "attach": 4},
+		Build:  func() *graph.Graph { return graph.BarabasiAlbert(256, 4, 8, rng(18)) },
 		Run:    runAPSP(1),
 	})
 

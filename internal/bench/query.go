@@ -127,6 +127,13 @@ type QueryReport struct {
 	LegacyRoutesPerSec float64            `json:"legacy_routes_per_sec,omitempty"`
 	AnswersMatch       bool               `json:"answers_match"`
 	GoMaxProcs         int                `json:"gomaxprocs"`
+	// BuildWorkers is the worker-pool width of the parallel table build
+	// (the PR 3 instance pipeline) behind build_ns.
+	BuildWorkers int `json:"build_workers,omitempty"`
+	// Fingerprint is the %016x digest of every answer the workload
+	// produced. It is deterministic, so pde-bench -check compares it
+	// against the committed artifact to catch silent serving regressions.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Filename returns the artifact name for this report.
@@ -177,9 +184,11 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 		return nil, fmt.Errorf("bench %s: scenario says n=%d but graph has %d nodes", s.Name, s.N, g.N())
 	}
 
+	buildCfg := congest.Config{Parallel: true}
+	rep.BuildWorkers = buildCfg.EffectiveWorkers()
 	if prep == nil {
 		t0 := time.Now()
-		res, err := s.Prepare(g, congest.Config{Parallel: true})
+		res, err := s.Prepare(g, buildCfg)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: prepare: %w", s.Name, err)
 		}
@@ -198,6 +207,7 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 	rep.OracleEntries = o.Entries()
 
 	var t0 time.Time
+	fph := newFP()
 	n := g.N()
 	switch s.Workload {
 	case "estimate":
@@ -245,6 +255,16 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 				return nil, fmt.Errorf("bench %s: parallel answer %d diverges", s.Name, i)
 			}
 		}
+		for _, a := range legacy {
+			fph.F64(a.Est.Dist)
+			fph.I64(int64(a.Est.Src))
+			fph.I64(int64(a.Est.Via))
+			if a.OK {
+				fph.I64(1)
+			} else {
+				fph.I64(0)
+			}
+		}
 		rep.LegacyWallNS = legacyWall.Nanoseconds()
 		rep.OracleWallNS = oracleWall.Nanoseconds()
 		rep.ParallelWallNS = parWall.Nanoseconds()
@@ -279,6 +299,12 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 		for i := range legacy {
 			if legacy[i] != got[i] {
 				return nil, fmt.Errorf("bench %s: next hop %d diverges: legacy %+v oracle %+v", s.Name, i, legacy[i], got[i])
+			}
+			fph.I64(int64(legacy[i].next))
+			if legacy[i].ok {
+				fph.I64(1)
+			} else {
+				fph.I64(0)
 			}
 		}
 		rep.LegacyWallNS = legacyWall.Nanoseconds()
@@ -327,6 +353,10 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 			}
 		}
 		oracleWall := time.Since(t0)
+		for _, l := range legacy {
+			fph.I64(l.weight)
+			fph.I64(int64(l.hops))
+		}
 		rep.LegacyWallNS = legacyWall.Nanoseconds()
 		rep.OracleWallNS = oracleWall.Nanoseconds()
 		rep.RoutesPerSec = qps(pairs, oracleWall)
@@ -344,6 +374,7 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 		rep.Speedup = float64(rep.LegacyWallNS) / float64(rep.OracleWallNS)
 	}
 	rep.AnswersMatch = true // a mismatch errors out above
+	rep.Fingerprint = fmt.Sprintf("%016x", fph.Sum())
 	return rep, nil
 }
 

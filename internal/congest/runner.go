@@ -53,6 +53,13 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// EffectiveWorkers returns the worker-pool width this config resolves to:
+// 1 when Parallel is false, Workers when set, else GOMAXPROCS. Callers that
+// layer their own instance-level parallelism on top of the engine (e.g.
+// core's rounding-instance pipeline) use it to split one worker budget
+// between the outer pool and the per-instance engines.
+func (c Config) EffectiveWorkers() int { return c.workers() }
+
 // safetyCap bounds unbudgeted runs so a non-terminating algorithm is
 // reported as an error instead of hanging.
 const safetyCap = 50_000_000

@@ -20,7 +20,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pde/internal/congest"
 	"pde/internal/detection"
@@ -47,6 +50,12 @@ type Params struct {
 	// Delays is forwarded to the detection substrate for Priority
 	// scheduling (the randomized baseline).
 	Delays []int32
+	// InstanceDelays, when non-nil, supplies rounding instance i's
+	// per-source delay vector, overriding Delays for that instance. Each
+	// instance must own an independent deterministic stream (see
+	// PerInstanceDelays) so the build's output never depends on the order
+	// — or concurrency — in which instances are built.
+	InstanceDelays func(instance int) []int32
 	// ExtraRounds widens every instance's round budget (randomized
 	// scheduling needs room for its delays).
 	ExtraRounds int
@@ -190,6 +199,12 @@ func NumInstances(maxW graph.Weight, eps float64) int {
 	return i + 1
 }
 
+// poolWidthHook, when non-nil, observes the instance-pool width each Run
+// resolves. Test instrumentation only: bit-identical outputs make the
+// pool invisible in results, so a regression that silently stopped
+// parallelizing the build would otherwise pass every determinism check.
+var poolWidthHook func(outer int)
+
 // maxHierarchyInstances rejects rounding hierarchies so deep that building
 // them would grind for hours (ε pathologically small relative to w_max):
 // the caller gets a clear error instead of a silent multi-hour spin or an
@@ -247,14 +262,21 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 		res.MessageBits += tm.MessageBits + am.MessageBits
 	}
 
-	// The rounding hierarchy.
+	// The rounding hierarchy. The i_max+1 instances are mutually
+	// independent — instance i reads only the graph, the (read-only)
+	// params and its own lengths/delays — so the build pipeline runs them
+	// concurrently on a worker pool when the caller's config is parallel.
+	// The worker budget splits between the instance pool and each
+	// instance's engine; the merge below consumes results in ascending
+	// instance order, so sequential and parallel builds are bit-identical
+	// (Result.Fingerprint makes that checkable, and the bench build layer
+	// and the -race property tests enforce it rather than assume it).
 	num := NumInstances(maxW, p.Epsilon)
 	if num > maxHierarchyInstances {
 		return nil, fmt.Errorf("core: epsilon %v needs %d rounding instances for w_max %d (limit %d)",
 			p.Epsilon, num, maxW, maxHierarchyInstances)
 	}
-	res.Instances = make([]*Instance, 0, num)
-	for i := 0; i < num; i++ {
+	buildOne := func(i int, sub congest.Config) (*Instance, error) {
 		base := math.Pow(1+p.Epsilon, float64(i))
 		lengths := make([]int32, g.M())
 		g.Edges(func(_, _ int, w graph.Weight, id int32) {
@@ -264,6 +286,10 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 			}
 			lengths[id] = l
 		})
+		delays := p.Delays
+		if p.InstanceDelays != nil {
+			delays = p.InstanceDelays(i)
+		}
 		dp := detection.Params{
 			IsSource:    p.IsSource,
 			Flags:       p.Flags,
@@ -272,14 +298,72 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 			Lengths:     lengths,
 			CapMessages: p.CapMessages,
 			Scheduling:  p.Scheduling,
-			Delays:      p.Delays,
+			Delays:      delays,
 			ExtraRounds: p.ExtraRounds,
 		}
-		det, err := detection.Run(g, dp, cfg.Sub())
+		det, err := detection.Run(g, dp, sub)
 		if err != nil {
 			return nil, fmt.Errorf("core: instance %d: %w", i, err)
 		}
-		res.Instances = append(res.Instances, &Instance{Base: base, Lengths: lengths, Det: det})
+		return &Instance{Base: base, Lengths: lengths, Det: det}, nil
+	}
+
+	insts := make([]*Instance, num)
+	outer := cfg.EffectiveWorkers()
+	if outer > num {
+		outer = num
+	}
+	if poolWidthHook != nil {
+		poolWidthHook(outer)
+	}
+	if outer > 1 {
+		// Instance-level parallelism: outer instances in flight, each on an
+		// engine of width ⌊W/outer⌋ (sequential when that is 1 — the two
+		// engines are bit-identical, so this is purely a scheduling split).
+		inner := congest.Config{B: cfg.B}
+		if iw := cfg.EffectiveWorkers() / outer; iw > 1 {
+			inner.Parallel = true
+			inner.Workers = iw
+		}
+		errs := make([]error, num)
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < outer; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= num {
+						return
+					}
+					insts[i], errs[i] = buildOne(i, inner)
+				}
+			}()
+		}
+		wg.Wait()
+		// The lowest-index error is what the sequential loop would have
+		// returned; reporting it keeps the two paths interchangeable.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := 0; i < num; i++ {
+			inst, err := buildOne(i, cfg.Sub())
+			if err != nil {
+				return nil, err
+			}
+			insts[i] = inst
+		}
+	}
+
+	// Deterministic merge: accounting accumulates in ascending instance
+	// order regardless of build order.
+	res.Instances = insts
+	for _, inst := range insts {
+		det := inst.Det
 		res.BudgetRounds += det.Budget
 		res.ActiveRounds += det.Metrics.ActiveRounds
 		res.Messages += det.Metrics.Messages
@@ -319,6 +403,31 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 		res.Lists[v] = lst
 	}
 	return res, nil
+}
+
+// PerInstanceDelays returns an InstanceDelays stream for Priority
+// scheduling: instance i draws its per-source delays uniformly from
+// [0, maxDelay) out of an RNG seeded only by (seed, i). Because no state
+// is shared between instances, the delay vectors — and therefore the whole
+// build — are identical whether instances run sequentially or concurrently
+// on the worker pool. Callers must widen ExtraRounds by maxDelay, exactly
+// as with a shared Delays vector.
+func PerInstanceDelays(seed int64, maxDelay int, isSource []bool) func(int) []int32 {
+	if maxDelay < 1 {
+		maxDelay = 1
+	}
+	return func(instance int) []int32 {
+		// SplitMix-style odd-constant mixing keeps the per-instance streams
+		// decorrelated even for adjacent seeds.
+		rng := rand.New(rand.NewSource(seed ^ (int64(instance)+1)*-0x61c8864680b583eb))
+		delays := make([]int32, len(isSource))
+		for v, src := range isSource {
+			if src {
+				delays[v] = int32(rng.Intn(maxDelay))
+			}
+		}
+		return delays
+	}
 }
 
 // APSPParams returns the Theorem 4.1 configuration: S = V, h = σ = n.

@@ -1,0 +1,42 @@
+// Package fingerprint is the one FNV-1a accumulator behind every output
+// digest in this repository — core.Result.Fingerprint, the bench
+// harness's per-algorithm cost fingerprints and the query-answer digests.
+// Keeping a single implementation matters because the CI regression guard
+// compares values produced at different layers: two drifting copies of
+// the hash would silently desynchronize them.
+package fingerprint
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+const (
+	offset64 uint64 = 14695981039346656037
+	prime64  uint64 = 1099511628211
+)
+
+// Acc accumulates FNV-1a over little-endian 64-bit words.
+type Acc struct{ h uint64 }
+
+// New returns an accumulator at the FNV offset basis.
+func New() *Acc { return &Acc{h: offset64} }
+
+// U64 folds one word into the digest.
+func (a *Acc) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	for _, c := range b {
+		a.h ^= uint64(c)
+		a.h *= prime64
+	}
+}
+
+// I64 folds a signed word.
+func (a *Acc) I64(v int64) { a.U64(uint64(v)) }
+
+// F64 folds a float's IEEE-754 bits.
+func (a *Acc) F64(v float64) { a.U64(math.Float64bits(v)) }
+
+// Sum returns the current digest.
+func (a *Acc) Sum() uint64 { return a.h }

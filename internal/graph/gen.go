@@ -252,3 +252,133 @@ func RandomTree(n int, maxW Weight, rng *rand.Rand) *Graph {
 	spanningPermTree(b, rng, maxW)
 	return b.MustBuild()
 }
+
+// BarabasiAlbert generates a power-law graph by preferential attachment:
+// each new node attaches m edges to existing nodes chosen proportionally
+// to their current degree (the repeated-endpoints urn), producing the
+// heavy-tailed degree distribution of web/social topologies. The first
+// attachment of every node is kept even when the urn draws collide, so the
+// graph is always connected. Weights are uniform in [1, maxW].
+func BarabasiAlbert(n, m int, maxW Weight, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: barabasi-albert size %d must be >= 2", n))
+	}
+	if m < 1 {
+		m = 1
+	}
+	b := NewBuilder(n)
+	// Urn of edge endpoints: a node appears once per incident edge, so a
+	// uniform draw is degree-proportional. Node 0 is seeded once so the
+	// first attachment has a target.
+	urn := make([]int, 0, 2*n*m)
+	urn = append(urn, 0)
+	for v := 1; v < n; v++ {
+		attached := 0
+		for t := 0; t < m && attached < v; t++ {
+			u := urn[rng.Intn(len(urn))]
+			if u == v || b.HasEdge(u, v) {
+				// Collision with itself (v enters the urn as it attaches) or
+				// an already-chosen hub: fall back to a uniform probe so
+				// low-id phases still reach the full m when possible.
+				u = rng.Intn(v)
+				if b.HasEdge(u, v) {
+					continue
+				}
+			}
+			b.AddEdge(u, v, randWeight(rng, maxW))
+			urn = append(urn, u, v)
+			attached++
+		}
+	}
+	return b.MustBuild()
+}
+
+// Community generates a clustered (planted-partition) graph: n nodes are
+// split round-robin into k communities; node pairs inside a community are
+// joined with probability pIn, pairs across communities with pOut << pIn.
+// Intra-community edges get low weights (local links), inter-community
+// edges get weights up to maxW (backbone links). A random spanning tree
+// guarantees connectivity at any density.
+func Community(n, k int, pIn, pOut float64, maxW Weight, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	b := NewBuilder(n)
+	spanningPermTree(b, rng, maxW)
+	localW := maxW/4 + 1
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p, w := pOut, maxW
+			if u%k == v%k {
+				p, w = pIn, localW
+			}
+			if rng.Float64() < p && !b.HasEdge(u, v) {
+				b.AddEdge(u, v, randWeight(rng, w))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RoadGrid generates a road-like rows × cols grid in which a fraction of
+// the road segments (grid edges) are obstacles and removed, as in street
+// networks with blocked or missing links. Every intersection remains a
+// node; after the obstacle pass, a union-find sweep reopens blocked
+// segments in row-major generation order whenever one still bridges two
+// fragments, so the graph is always connected. Weights are uniform in
+// [1, maxW].
+func RoadGrid(rows, cols int, obstacleFrac float64, maxW Weight, rng *rand.Rand) *Graph {
+	n := rows * cols
+	b := NewBuilder(n)
+	id := func(r, c int) int { return r*cols + c }
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) bool {
+		rx, ry := find(x), find(y)
+		if rx == ry {
+			return false
+		}
+		parent[rx] = ry
+		return true
+	}
+
+	type seg struct{ u, v int }
+	var blocked []seg
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for _, d := range [2][2]int{{0, 1}, {1, 0}} {
+				nr, nc := r+d[0], c+d[1]
+				if nr >= rows || nc >= cols {
+					continue
+				}
+				u, v := id(r, c), id(nr, nc)
+				if rng.Float64() < obstacleFrac {
+					blocked = append(blocked, seg{u, v})
+					continue
+				}
+				b.AddEdge(u, v, randWeight(rng, maxW))
+				union(u, v)
+			}
+		}
+	}
+	// Reconnect: reopen blocked segments (in generation order) that still
+	// bridge two components.
+	for _, s := range blocked {
+		if find(s.u) != find(s.v) {
+			b.AddEdge(s.u, s.v, randWeight(rng, maxW))
+			union(s.u, s.v)
+		}
+	}
+	return b.MustBuild()
+}

@@ -39,6 +39,15 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return total, bw.Flush()
 }
 
+// maxReadDim bounds the node and edge counts Read accepts. The format
+// exists for experiment-scale graphs (weights polynomial in n, §2.1); a
+// header claiming millions of nodes is a corrupt or hostile input, and
+// rejecting it up front keeps Read total — an error, never a panic nor a
+// large header-driven allocation (Build allocates ~32 bytes per claimed
+// node, so this cap bounds a lying 25-byte header to ~64 MB transient;
+// fuzzed in FuzzGraphIO).
+const maxReadDim = 1 << 21
+
 // Read parses the WriteTo format.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
@@ -66,12 +75,26 @@ func Read(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: reading dimensions: %w", err)
 	}
-	var n, m int
-	if _, err := fmt.Sscanf(dims, "%d %d", &n, &m); err != nil {
-		return nil, fmt.Errorf("graph: bad dimensions %q: %w", dims, err)
+	dimFields := strings.Fields(dims)
+	if len(dimFields) != 2 {
+		return nil, fmt.Errorf("graph: dimension line %q must be '<n> <m>'", dims)
+	}
+	n, err1 := strconv.Atoi(dimFields[0])
+	m, err2 := strconv.Atoi(dimFields[1])
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("graph: bad dimensions %q", dims)
 	}
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("graph: negative dimensions %d, %d", n, m)
+	}
+	if n > maxReadDim || m > maxReadDim {
+		return nil, fmt.Errorf("graph: dimensions %d, %d exceed limit %d", n, m, maxReadDim)
+	}
+	// A simple graph on n nodes has at most n(n-1)/2 edges; a header
+	// claiming more cannot parse into a Builder (duplicates error anyway)
+	// and would only over-allocate.
+	if n < 1<<16 && m > n*(n-1)/2 {
+		return nil, fmt.Errorf("graph: %d edges exceed the simple-graph maximum for %d nodes", m, n)
 	}
 	b := NewBuilder(n)
 	for i := 0; i < m; i++ {
