@@ -18,6 +18,11 @@
 // tables once, then drive the same query stream through the legacy scan
 // path and the compiled oracle, failing if any answer diverges.
 //
+// Serve scenarios (BENCH_serve_*.json, schema "pde-serve/v1", see
+// internal/bench/serve.go) push the same tables behind the pde-serve
+// daemon on a loopback listener and measure end-to-end throughput vs the
+// in-process baseline, failing if any answer diverges across the wire.
+//
 // Usage:
 //
 //	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-workers n]
@@ -128,6 +133,13 @@ func main() {
 			selectedQ = append(selectedQ, s)
 		}
 	}
+	serves := bench.ServeScenarios()
+	selectedS := serves[:0]
+	for _, s := range serves {
+		if keep(s.Name, s.Quick) {
+			selectedS = append(selectedS, s)
+		}
+	}
 	if *list {
 		for _, s := range selected {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
@@ -138,9 +150,12 @@ func main() {
 		for _, s := range selectedQ {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "query/"+s.Workload, s.Topology, s.N, s.Quick)
 		}
+		for _, s := range selectedS {
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "serve/estimate", s.Topology, s.N, s.Quick)
+		}
 		return
 	}
-	total := len(selected) + len(selectedB) + len(selectedQ)
+	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS)
 	if total == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
@@ -150,8 +165,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query), GOMAXPROCS=%d\n",
-		total, len(selected), len(selectedB), len(selectedQ), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve), GOMAXPROCS=%d\n",
+		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), runtime.GOMAXPROCS(0))
 	failed := 0
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
@@ -233,6 +248,23 @@ func main() {
 			line += fmt.Sprintf(" routes/s=%.0f", rep.RoutesPerSec)
 		}
 		fmt.Fprintln(os.Stderr, line)
+	}
+	for _, s := range selectedS {
+		rep, err := bench.RunServeScenario(s, queryCache)
+		if err != nil {
+			fail(s.Name, err)
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
+			continue
+		}
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok   %-28s queries=%-8d inproc=%.2fMq/s serve=%.2fMq/s ratio=%.2f avg_batch=%.0f\n",
+			s.Name, rep.Queries, rep.InprocQPS/1e6, rep.ServeQPS/1e6, rep.Ratio, rep.ServerAvgBatch)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, total)

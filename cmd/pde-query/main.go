@@ -27,6 +27,19 @@
 //	              bit-identical at any width; this only moves build_ns.
 //	-legacy       serve from the legacy scan path instead of the oracle
 //	-json         emit a machine-readable summary instead of prose
+//
+// Remote mode turns the same load generator into the stress tool for the
+// pde-serve daemon (internal/server): instead of building tables locally
+// it discovers the target shard's size from /v1/stats and fires the query
+// stream over HTTP in -batch sized requests from -workers concurrent
+// clients:
+//
+//	pde-query -remote http://127.0.0.1:7475 [-shard main] [-batch 4096]
+//	          [-codec binary|json] [-workload estimate|nexthop|route]
+//	          [-queries N] [-workers N] [-seed 1] [-json]
+//
+// The route workload is always JSON (routes are variable-length); with
+// partial-sweep shards unroutable pairs are counted, not fatal.
 package main
 
 import (
@@ -34,14 +47,17 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"pde/internal/congest"
 	"pde/internal/core"
 	"pde/internal/graph"
 	"pde/internal/oracle"
+	"pde/internal/server"
 )
 
 type summary struct {
@@ -61,6 +77,14 @@ type summary struct {
 	WallNS        int64   `json:"wall_ns"`
 	QPS           float64 `json:"qps"`
 	NSPerQuery    float64 `json:"ns_per_query"`
+
+	// Remote-mode fields (absent in local runs).
+	Remote    string `json:"remote,omitempty"`
+	Shard     string `json:"shard,omitempty"`
+	Batch     int    `json:"batch,omitempty"`
+	Codec     string `json:"codec,omitempty"`
+	RemoteFP  string `json:"remote_fingerprint,omitempty"`
+	Delivered int    `json:"delivered,omitempty"`
 }
 
 func main() {
@@ -77,7 +101,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "graph and query stream seed")
 	legacy := flag.Bool("legacy", false, "serve from the legacy scan path instead of the oracle")
 	asJSON := flag.Bool("json", false, "emit a JSON summary")
+	remote := flag.String("remote", "", "base URL of a pde-serve daemon; fire the stream over HTTP instead of building locally")
+	shard := flag.String("shard", "main", "remote mode: shard to target")
+	batch := flag.Int("batch", 4096, "remote mode: queries per request")
+	codec := flag.String("codec", "binary", "remote mode: binary | json batch bodies (route is always json)")
 	flag.Parse()
+
+	if *remote != "" {
+		runRemote(remoteOpts{
+			base: *remote, shard: *shard, workload: *workload, codec: *codec,
+			queries: *queries, batch: *batch, workers: *workers, seed: *seed,
+			asJSON: *asJSON,
+		})
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var g *graph.Graph
@@ -163,7 +200,7 @@ func main() {
 				if len(lst) == 0 {
 					continue
 				}
-				qs[i] = oracle.Query{V: v, S: lst[rng.Intn(len(lst))].Src}
+				qs[i] = oracle.Query{V: int32(v), S: lst[rng.Intn(len(lst))].Src}
 				found = true
 				break
 			}
@@ -174,7 +211,7 @@ func main() {
 		}
 	} else {
 		for i := range qs {
-			qs[i] = oracle.Query{V: rng.Intn(g.N()), S: int32(rng.Intn(g.N()))}
+			qs[i] = oracle.Query{V: int32(rng.Intn(g.N())), S: int32(rng.Intn(g.N()))}
 		}
 	}
 
@@ -184,7 +221,7 @@ func main() {
 		if *legacy {
 			t0 = time.Now()
 			for _, q := range qs {
-				res.Estimate(q.V, q.S)
+				res.Estimate(int(q.V), q.S)
 			}
 			wall = time.Since(t0)
 		} else if w == 1 {
@@ -206,7 +243,7 @@ func main() {
 		}
 		t0 = time.Now()
 		for _, q := range qs {
-			router.NextHop(q.V, q.S)
+			router.NextHop(int(q.V), q.S)
 		}
 		wall = time.Since(t0)
 	case "route":
@@ -218,7 +255,7 @@ func main() {
 		}
 		t0 = time.Now()
 		for _, q := range qs {
-			if _, err := router.Route(q.V, q.S); err != nil {
+			if _, err := router.Route(int(q.V), q.S); err != nil {
 				fmt.Fprintf(os.Stderr, "pde-query: route %d->%d: %v\n", q.V, q.S, err)
 				os.Exit(1)
 			}
@@ -254,4 +291,147 @@ func main() {
 		sum.OracleEntries, float64(sum.OracleBytes)/1024)
 	fmt.Printf("pde-query: served %d queries from the %s path with %d worker(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
 		*queries, path, w, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
+}
+
+// remoteOpts parameterizes a remote-mode run against a pde-serve daemon.
+type remoteOpts struct {
+	base     string
+	shard    string
+	workload string
+	codec    string
+	queries  int
+	batch    int
+	workers  int
+	seed     int64
+	asJSON   bool
+}
+
+// runRemote fires the query stream at a live daemon and reports
+// end-to-end throughput. It exits the process on any error: the tool is
+// a load generator, and a failing request means the measurement is void.
+func runRemote(opt remoteOpts) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pde-query: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if opt.codec != "binary" && opt.codec != "json" {
+		fail("unknown codec %q (want binary or json)", opt.codec)
+	}
+	if opt.batch <= 0 {
+		fail("-batch must be positive")
+	}
+	workers := opt.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	client := &server.Client{BaseURL: opt.base, Shard: opt.shard}
+	st, err := client.Stats()
+	if err != nil {
+		fail("fetching /v1/stats from %s: %v", opt.base, err)
+	}
+	status, ok := st.Shards[opt.shard]
+	if !ok {
+		names := make([]string, 0, len(st.Shards))
+		for name := range st.Shards {
+			names = append(names, name)
+		}
+		fail("daemon has no shard %q (shards: %v)", opt.shard, names)
+	}
+	n := status.N
+
+	rng := rand.New(rand.NewSource(opt.seed))
+	qs := make([]oracle.Query, opt.queries)
+	for i := range qs {
+		qs[i] = oracle.Query{V: int32(rng.Intn(n)), S: int32(rng.Intn(n))}
+	}
+
+	sum := summary{
+		Workload: opt.workload, Topology: status.Spec.Topology, N: n, M: status.M,
+		Queries: opt.queries, Workers: workers,
+		Remote: opt.base, Shard: opt.shard, Batch: opt.batch, Codec: opt.codec,
+		RemoteFP: status.Fingerprint,
+	}
+	if opt.workload == "route" {
+		sum.Codec = "json"
+	}
+
+	// Split the stream into batch-sized requests and fan them across
+	// workers (server.SplitSpans + server.DriveBatches, the same harness
+	// the serving benchmark uses). Each worker gets its own Transport so
+	// its connection actually stays warm: pooling all workers through
+	// http.DefaultTransport would cap idle connections at its
+	// MaxIdleConnsPerHost of 2 and make the others re-dial per batch.
+	spans := server.SplitSpans(len(qs), opt.batch)
+	cls := make([]*server.Client, workers)
+	for w := range cls {
+		cls[w] = &server.Client{BaseURL: opt.base, Shard: opt.shard,
+			HTTP: &http.Client{Transport: &http.Transport{}}}
+	}
+	var delivered atomic.Int64
+	t0 := time.Now()
+	err = server.DriveBatches(workers, len(spans), func(w, i int) error {
+		part := qs[spans[i].Lo:spans[i].Hi]
+		switch opt.workload {
+		case "estimate":
+			answers, _, err := cls[w].Estimate(part, opt.codec == "json")
+			if err != nil {
+				return err
+			}
+			for _, a := range answers {
+				if a.OK {
+					delivered.Add(1)
+				}
+			}
+		case "nexthop":
+			hops, _, err := cls[w].NextHop(part, opt.codec == "json")
+			if err != nil {
+				return err
+			}
+			for _, h := range hops {
+				if h.OK {
+					delivered.Add(1)
+				}
+			}
+		case "route":
+			pairs := make([]server.WirePair, len(part))
+			for j, q := range part {
+				pairs[j] = server.WirePair{From: q.V, To: q.S}
+			}
+			resp, err := cls[w].Route(pairs)
+			if err != nil {
+				return err
+			}
+			for _, rt := range resp.Routes {
+				if rt.OK {
+					delivered.Add(1)
+				}
+			}
+		default:
+			return fmt.Errorf("unknown workload %q", opt.workload)
+		}
+		return nil
+	})
+	wall := time.Since(t0)
+	if err != nil {
+		fail("remote %s workload: %v", opt.workload, err)
+	}
+
+	sum.Delivered = int(delivered.Load())
+	sum.WallNS = wall.Nanoseconds()
+	if wall > 0 {
+		sum.QPS = float64(opt.queries) / wall.Seconds()
+		sum.NSPerQuery = float64(sum.WallNS) / float64(opt.queries)
+	}
+	if opt.asJSON {
+		data, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fail("marshal: %v", err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	fmt.Printf("pde-query: remote %s/%s shard=%q n=%d (fingerprint %s)\n",
+		opt.workload, opt.base, opt.shard, n, sum.RemoteFP)
+	fmt.Printf("pde-query: served %d queries (%d delivered) in %d-query %s batches over %d client(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
+		opt.queries, sum.Delivered, opt.batch, sum.Codec, workers, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
 }

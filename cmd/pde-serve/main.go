@@ -1,0 +1,123 @@
+// Command pde-serve is the long-lived distance-query daemon: it builds
+// one or more graph scenarios into independent oracle shards
+// (internal/server) and serves estimate / next-hop / route traffic over
+// HTTP, with admin hot-swap rebuilds, micro-batched oracle dispatch, a
+// route LRU, and per-shard stats.
+//
+// Usage:
+//
+//	pde-serve [-addr :7475]
+//	          [-topology random] [-n 256] [-eps 0.5] [-maxw 16]
+//	          [-h 0] [-sigma 0] [-seed 1] [-build-workers 0]
+//	          [-shards '{"name": {"topology": "...", "n": ..., ...}}']
+//	          [-max-batch 65536] [-coalesce-limit 16384]
+//	          [-coalesce-wait 0] [-workers 0] [-route-cache 4096]
+//
+// With -shards, the JSON object maps shard names to full specs and the
+// single-shard convenience flags are ignored; otherwise one shard named
+// "main" is built from the convenience flags (which mirror pde-query's:
+// h = sigma = 0 means full APSP).
+//
+// Endpoints, wire formats, and hot-swap semantics are documented in
+// internal/server and the README's Serving section. The daemon exits
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pde/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7475", "listen address")
+	topology := flag.String("topology", "random", "random | grid | internet | ring | powerlaw | community | roadgrid")
+	n := flag.Int("n", 256, "number of nodes")
+	eps := flag.Float64("eps", 0.5, "PDE approximation slack")
+	maxW := flag.Int64("maxw", 16, "maximum edge weight")
+	h := flag.Int("h", 0, "hop bound (0 = APSP)")
+	sigma := flag.Int("sigma", 0, "list size (0 = APSP)")
+	seed := flag.Int64("seed", 1, "graph generator seed")
+	buildWorkers := flag.Int("build-workers", 0, "parallel table-build pool width (0 = GOMAXPROCS)")
+	shardsJSON := flag.String("shards", "", `multi-shard spec: {"name": {"topology": ..., "n": ..., "eps": ..., ...}}`)
+	maxBatch := flag.Int("max-batch", 0, "largest query batch one request may carry (0 = default 65536)")
+	coalesceLimit := flag.Int("coalesce-limit", 0, "point lookups per micro-batch flush (0 = default 16384)")
+	coalesceWait := flag.Duration("coalesce-wait", 0, "hold a lone request open this long for coalescing (0 = opportunistic)")
+	workers := flag.Int("workers", 0, "oracle fan-out per flush (0 = GOMAXPROCS)")
+	routeCache := flag.Int("route-cache", 0, "per-shard route LRU capacity (0 = default 4096, negative disables)")
+	flag.Parse()
+
+	specs := map[string]server.Spec{}
+	if *shardsJSON != "" {
+		if err := json.Unmarshal([]byte(*shardsJSON), &specs); err != nil {
+			fmt.Fprintf(os.Stderr, "pde-serve: parsing -shards: %v\n", err)
+			os.Exit(2)
+		}
+		if len(specs) == 0 {
+			fmt.Fprintln(os.Stderr, "pde-serve: -shards names no shards")
+			os.Exit(2)
+		}
+	} else {
+		specs["main"] = server.Spec{
+			Topology: *topology, N: *n, Eps: *eps, MaxW: *maxW,
+			H: *h, Sigma: *sigma, Seed: *seed, BuildWorkers: *buildWorkers,
+		}
+	}
+	for name, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "pde-serve: shard %q: %v\n", name, err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := server.Config{
+		MaxBatch:       *maxBatch,
+		CoalesceLimit:  *coalesceLimit,
+		CoalesceWait:   *coalesceWait,
+		Workers:        *workers,
+		RouteCacheSize: *routeCache,
+	}
+	t0 := time.Now()
+	fmt.Fprintf(os.Stderr, "pde-serve: building %d shard(s)...\n", len(specs))
+	srv, err := server.New(specs, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pde-serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	for _, name := range srv.Shards() {
+		fp, _ := srv.Fingerprint(name)
+		fmt.Fprintf(os.Stderr, "pde-serve: shard %q ready (fingerprint %s)\n", name, fp)
+	}
+	fmt.Fprintf(os.Stderr, "pde-serve: built in %.1fs, listening on %s\n", time.Since(t0).Seconds(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "pde-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "pde-serve: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "pde-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -244,7 +244,7 @@ func RunQueryScenario(s QueryScenario, cache *QueryCache) (*QueryReport, error) 
 		qs := make([]oracle.Query, 0, n*n)
 		for v := 0; v < n; v++ {
 			for s := int32(0); s < int32(n); s++ {
-				qs = append(qs, oracle.Query{V: v, S: s})
+				qs = append(qs, oracle.Query{V: int32(v), S: s})
 			}
 		}
 		t0 = time.Now()

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/server"
+)
+
+// smallServeScenario is a fast cell for tests: same shape as the real
+// matrix, tiny instance.
+func smallServeScenario() ServeScenario {
+	return ServeScenario{
+		Name:     "serve_estimate-apsp-n48",
+		Topology: "random",
+		N:        48,
+		Seed:     4,
+		Batch:    256,
+		Clients:  2,
+		Params:   map[string]float64{"eps": 1, "maxw": 4},
+		Spec:     server.Spec{Topology: "random", N: 48, Eps: 1, MaxW: 4, Seed: 4},
+		Build:    func() *graph.Graph { return graph.RandomConnected(48, 8.0/48, 4, rng(4)) },
+		Prepare: func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			return core.Run(g, core.APSPParams(g.N(), 1), cfg)
+		},
+	}
+}
+
+// TestRunServeScenario drives the full end-to-end benchmark path on a
+// small instance: tables built once, daemon booted on loopback, every
+// answer compared across the wire, stats cross-checked.
+func TestRunServeScenario(t *testing.T) {
+	rep, err := RunServeScenario(smallServeScenario(), NewQueryCache())
+	if err != nil {
+		t.Fatalf("RunServeScenario: %v", err)
+	}
+	if rep.Schema != ServeSchemaID {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ServeSchemaID)
+	}
+	if rep.Queries != 48*48 || !rep.AnswersMatch {
+		t.Fatalf("report: queries=%d answers_match=%v", rep.Queries, rep.AnswersMatch)
+	}
+	if rep.ServeQPS <= 0 || rep.InprocQPS <= 0 || rep.Ratio <= 0 {
+		t.Fatalf("throughput fields not populated: %+v", rep)
+	}
+	if rep.ServerFlushes <= 0 || rep.ServerAvgBatch <= 0 {
+		t.Fatalf("server-side batch stats not populated: flushes=%d avg=%g", rep.ServerFlushes, rep.ServerAvgBatch)
+	}
+	if rep.Fingerprint == "" {
+		t.Fatal("fingerprint missing")
+	}
+	if rep.Filename() != "BENCH_serve_estimate-apsp-n48.json" {
+		t.Fatalf("filename = %q", rep.Filename())
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"schema", "fingerprint", "n", "m", "seed", "queries", "serve_qps", "inproc_qps", "ratio"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("report JSON is missing %q", key)
+		}
+	}
+}
+
+// TestServeScenarioSharesCache checks the PrepareKey path: a serve
+// scenario must reuse tables a query scenario already built instead of
+// paying the construction twice.
+func TestServeScenarioSharesCache(t *testing.T) {
+	cache := NewQueryCache()
+	s := smallServeScenario()
+	s.PrepareKey = "shared-n48"
+	rep1, err := RunServeScenario(s, cache)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	prep, ok := cache.m["shared-n48"]
+	if !ok {
+		t.Fatal("scenario did not populate the cache")
+	}
+	rep2, err := RunServeScenario(s, cache)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if cache.m["shared-n48"] != prep {
+		t.Fatal("second run rebuilt the cached tables")
+	}
+	if rep1.Fingerprint != rep2.Fingerprint || rep1.BuildNS != rep2.BuildNS {
+		t.Fatalf("cached run diverged: %s/%d vs %s/%d",
+			rep1.Fingerprint, rep1.BuildNS, rep2.Fingerprint, rep2.BuildNS)
+	}
+}
+
+// TestServeScenariosRegistered pins the committed matrix: the n=512 cell
+// exists, is quick (runs in CI), and shares the APSP build.
+func TestServeScenariosRegistered(t *testing.T) {
+	list := ServeScenarios()
+	if len(list) == 0 {
+		t.Fatal("no serve scenarios registered")
+	}
+	s := list[0]
+	if s.Name != "serve_estimate-apsp-n512" || !s.Quick {
+		t.Fatalf("first serve scenario = %q quick=%v", s.Name, s.Quick)
+	}
+	if s.PrepareKey != "apsp-random-n512-eps1" {
+		t.Fatalf("n512 serve cell must share the APSP build, PrepareKey=%q", s.PrepareKey)
+	}
+}

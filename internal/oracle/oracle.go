@@ -134,8 +134,16 @@ func (o *Oracle) Bytes() int64 {
 }
 
 // find binary-searches node v's segment for source s and returns the
-// entry index, or -1.
+// entry index, or -1. Out-of-range v is a miss, not a panic: serving
+// layers (internal/server) validate queries against one table snapshot
+// but may answer them from a hot-swapped replacement with a different
+// node count, and the contract there is "consistent with the snapshot
+// that answered" — for a node the snapshot doesn't have, that answer is
+// "not found".
 func (o *Oracle) find(v int, s int32) int64 {
+	if v < 0 || v >= o.n {
+		return -1
+	}
 	lo, hi := o.off[v], o.off[v+1]
 	for lo < hi {
 		mid := int64(uint64(lo+hi) >> 1)
@@ -198,8 +206,12 @@ func (o *Oracle) NextHop(v int, s int32) (int, bool) {
 
 // SourcesOf calls fn for each of v's compiled entries in ascending source
 // order (the full combine, not the σ-capped list). It exists for consumers
-// that previously iterated per-instance lists.
+// that previously iterated per-instance lists. Out-of-range v has no
+// entries.
 func (o *Oracle) SourcesOf(v int, fn func(core.Estimate)) {
+	if v < 0 || v >= o.n {
+		return
+	}
 	for k := o.off[v]; k < o.off[v+1]; k++ {
 		fn(o.at(k))
 	}

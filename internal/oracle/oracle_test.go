@@ -191,7 +191,7 @@ func TestAnswerBatchAndParallel(t *testing.T) {
 	qs := make([]Query, 0, n*n)
 	for v := 0; v < n; v++ {
 		for s := 0; s < n; s++ {
-			qs = append(qs, Query{V: v, S: int32(s)})
+			qs = append(qs, Query{V: int32(v), S: int32(s)})
 		}
 	}
 	seq := make([]Answer, len(qs))
@@ -205,10 +205,74 @@ func TestAnswerBatchAndParallel(t *testing.T) {
 		}
 	}
 	for i, q := range qs {
-		e, ok := o.Estimate(q.V, q.S)
+		e, ok := o.Estimate(int(q.V), q.S)
 		if (Answer{Est: e, OK: ok}) != seq[i] {
 			t.Fatalf("AnswerAll[%d] != Estimate(%d,%d)", i, q.V, q.S)
 		}
+	}
+}
+
+// TestAnswerAllLengthContract pins the batch contract: out must have
+// exactly len(qs) slots, and a mismatch panics loudly instead of leaving
+// a silently torn batch.
+func TestAnswerAllLengthContract(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	g := graph.RandomConnected(12, 6.0/12, 8, r)
+	res := buildResult(t, g, core.APSPParams(g.N(), 1))
+	o := Compile(res)
+
+	qs := []Query{{V: 0, S: 1}, {V: 1, S: 2}, {V: 2, S: 0}}
+	for name, call := range map[string]func(){
+		"AnswerAll/short":  func() { o.AnswerAll(qs, make([]Answer, len(qs)-1)) },
+		"AnswerAll/long":   func() { o.AnswerAll(qs, make([]Answer, len(qs)+1)) },
+		"AnswerInto/short": func() { o.AnswerInto(qs, make([]Answer, 0), 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: mismatched out length did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+	// The exact-length call still works and matches point queries.
+	out := make([]Answer, len(qs))
+	o.AnswerAll(qs, out)
+	for i, q := range qs {
+		e, ok := o.Estimate(int(q.V), q.S)
+		if (Answer{Est: e, OK: ok}) != out[i] {
+			t.Fatalf("answer %d diverges from point query", i)
+		}
+	}
+}
+
+// TestOracleOutOfRangeIsMiss pins the bounds contract: a node id outside
+// [0, n) is a miss, never a panic. The serving daemon validates queries
+// against one table snapshot but may answer them from a hot-swapped
+// replacement with a smaller n; a panic here would kill the dispatcher
+// goroutine and with it the whole process.
+func TestOracleOutOfRangeIsMiss(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g := graph.RandomConnected(16, 6.0/16, 8, r)
+	res := buildResult(t, g, core.APSPParams(g.N(), 1))
+	o := Compile(res)
+	for _, v := range []int{-1, -100, g.N(), g.N() + 37} {
+		if _, ok := o.Estimate(v, 0); ok {
+			t.Errorf("Estimate(%d, 0) reported a hit", v)
+		}
+		if _, ok := o.Lookup(v, 0); ok {
+			t.Errorf("Lookup(%d, 0) reported a hit", v)
+		}
+		if _, ok := o.NextHop(v, 0); ok && v != 0 {
+			t.Errorf("NextHop(%d, 0) reported a hit", v)
+		}
+		o.SourcesOf(v, func(core.Estimate) { t.Errorf("SourcesOf(%d) yielded an entry", v) })
+	}
+	out := make([]Answer, 2)
+	o.AnswerAll([]Query{{V: -1, S: 0}, {V: int32(g.N()), S: 3}}, out)
+	if out[0].OK || out[1].OK {
+		t.Errorf("batch answers for out-of-range nodes reported hits: %+v", out)
 	}
 }
 

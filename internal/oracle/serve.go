@@ -1,15 +1,19 @@
 package oracle
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"pde/internal/core"
 )
 
-// Query is one point lookup: node V asking about source S.
+// Query is one point lookup: node V asking about source S. Both ids are
+// int32 so a Query is exactly the wire record of the serving layer's
+// binary batch codec (internal/server) — no width conversion between a
+// decoded batch body and the oracle call.
 type Query struct {
-	V int
+	V int32
 	S int32
 }
 
@@ -19,27 +23,37 @@ type Answer struct {
 	OK  bool
 }
 
-// AnswerAll serves qs sequentially into out (which must have len(qs)
-// entries). It allocates nothing, so tight serving loops can reuse
-// buffers across batches.
+// AnswerAll serves qs sequentially into out. It allocates nothing, so
+// tight serving loops can reuse buffers across batches.
+//
+// out must have exactly len(qs) entries; anything else is a caller bug
+// (a torn batch would silently leave stale answers in the tail), so
+// AnswerAll panics instead of truncating.
 func (o *Oracle) AnswerAll(qs []Query, out []Answer) {
+	if len(out) != len(qs) {
+		panic(fmt.Sprintf("oracle: AnswerAll called with %d queries but %d answer slots", len(qs), len(out)))
+	}
 	for i, q := range qs {
-		out[i].Est, out[i].OK = o.Estimate(q.V, q.S)
+		out[i].Est, out[i].OK = o.Estimate(int(q.V), q.S)
 	}
 }
 
-// AnswerParallel serves qs across workers goroutines (GOMAXPROCS when
-// workers <= 0) and returns the answers in query order. The oracle is
-// immutable, so the workers share it without synchronization; only the
-// disjoint output chunks are written.
-func (o *Oracle) AnswerParallel(qs []Query, workers int) []Answer {
+// AnswerInto serves qs across workers goroutines (GOMAXPROCS when
+// workers <= 0) into out, which must have exactly len(qs) entries (it
+// shares AnswerAll's length contract). The oracle is immutable, so the
+// workers share it without synchronization; only the disjoint output
+// chunks are written. Callers that batch continuously reuse out across
+// calls; AnswerParallel is the allocating convenience wrapper.
+func (o *Oracle) AnswerInto(qs []Query, out []Answer, workers int) {
+	if len(out) != len(qs) {
+		panic(fmt.Sprintf("oracle: AnswerInto called with %d queries but %d answer slots", len(qs), len(out)))
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	out := make([]Answer, len(qs))
 	if workers == 1 || len(qs) < 2*workers {
 		o.AnswerAll(qs, out)
-		return out
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (len(qs) + workers - 1) / workers
@@ -56,5 +70,12 @@ func (o *Oracle) AnswerParallel(qs []Query, workers int) []Answer {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// AnswerParallel serves qs across workers goroutines (GOMAXPROCS when
+// workers <= 0) and returns the answers in query order.
+func (o *Oracle) AnswerParallel(qs []Query, workers int) []Answer {
+	out := make([]Answer, len(qs))
+	o.AnswerInto(qs, out, workers)
 	return out
 }

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"time"
+
+	"pde/internal/oracle"
+)
+
+// job is one HTTP request's worth of point lookups waiting for a
+// dispatcher flush. The dispatcher fills out (len(qs) entries) and
+// records the shard snapshot that answered, so the handler can stamp the
+// response with that table's fingerprint — every query in one request is
+// answered by exactly one generation, never a torn mix.
+type job struct {
+	qs   []oracle.Query
+	out  []oracle.Answer
+	sh   *shard
+	done chan struct{}
+}
+
+// batcher coalesces concurrent requests against one shard into
+// micro-batches fed to oracle.AnswerInto. Coalescing is opportunistic:
+// the dispatcher drains whatever is already queued (up to limit point
+// lookups) and serves immediately, so a lone request pays no added
+// latency; under concurrent load the queue is non-empty and flushes
+// carry many requests. A positive wait additionally holds a lone request
+// open that long in case company arrives — a latency-for-throughput
+// trade the daemon exposes as -coalesce-wait.
+type batcher struct {
+	sl      *slot
+	jobs    chan *job
+	limit   int // max point lookups per flush
+	wait    time.Duration
+	workers int // oracle.AnswerInto fan-out per flush
+	stop    chan struct{}
+}
+
+func newBatcher(sl *slot, limit int, wait time.Duration, workers int) *batcher {
+	b := &batcher{
+		sl:      sl,
+		jobs:    make(chan *job, 256),
+		limit:   limit,
+		wait:    wait,
+		workers: workers,
+		stop:    make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit enqueues the request's queries and blocks until the dispatcher
+// has answered them. The returned shard is the snapshot every answer in
+// this request came from.
+func (b *batcher) submit(qs []oracle.Query) ([]oracle.Answer, *shard) {
+	j := &job{qs: qs, out: make([]oracle.Answer, len(qs)), done: make(chan struct{})}
+	b.jobs <- j
+	<-j.done
+	return j.out, j.sh
+}
+
+func (b *batcher) close() { close(b.stop) }
+
+func (b *batcher) run() {
+	for {
+		var first *job
+		select {
+		case <-b.stop:
+			return
+		case first = <-b.jobs:
+		}
+		batch := []*job{first}
+		total := len(first.qs)
+
+		// Drain whatever else is already waiting, without blocking.
+	drain:
+		for total < b.limit {
+			select {
+			case j := <-b.jobs:
+				batch = append(batch, j)
+				total += len(j.qs)
+			default:
+				break drain
+			}
+		}
+		// Optionally hold the flush open for stragglers.
+		if b.wait > 0 && total < b.limit {
+			deadline := time.NewTimer(b.wait)
+		hold:
+			for total < b.limit {
+				select {
+				case j := <-b.jobs:
+					batch = append(batch, j)
+					total += len(j.qs)
+				case <-deadline.C:
+					break hold
+				}
+			}
+			deadline.Stop()
+		}
+		b.flush(batch, total)
+	}
+}
+
+// flush answers one micro-batch from a single shard snapshot.
+func (b *batcher) flush(batch []*job, total int) {
+	sh := b.sl.load()
+	if len(batch) == 1 {
+		// The common single-request flush answers in place, no copying.
+		sh.o.AnswerInto(batch[0].qs, batch[0].out, b.workers)
+	} else {
+		qs := make([]oracle.Query, 0, total)
+		for _, j := range batch {
+			qs = append(qs, j.qs...)
+		}
+		out := make([]oracle.Answer, total)
+		sh.o.AnswerInto(qs, out, b.workers)
+		off := 0
+		for _, j := range batch {
+			copy(j.out, out[off:off+len(j.qs)])
+			off += len(j.qs)
+		}
+	}
+	b.sl.stats.recordBatch(len(batch), total)
+	for _, j := range batch {
+		j.sh = sh
+		close(j.done)
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"pde/internal/oracle"
+)
+
+// Client speaks the daemon's wire protocol — the remote mirror of the
+// oracle's batch API. pde-query's -remote mode and the serving benchmark
+// both drive the daemon through it, so the protocol has exactly one
+// client implementation to drift.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7475".
+	BaseURL string
+	// Shard names the shard every call targets.
+	Shard string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decodeError turns a non-200 response into the envelope's message.
+func decodeError(resp *http.Response, body []byte) error {
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return fmt.Errorf("server: %s (%s, HTTP %d)", env.Error.Message, env.Error.Code, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, body)
+}
+
+func (c *Client) post(path, contentType string, body []byte) ([]byte, *http.Response, error) {
+	resp, err := c.http().Post(c.BaseURL+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var data []byte
+	if resp.ContentLength >= 0 {
+		data = make([]byte, resp.ContentLength)
+		_, err = io.ReadFull(resp.Body, data)
+	} else {
+		data, err = io.ReadAll(resp.Body)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, decodeError(resp, data)
+	}
+	return data, resp, nil
+}
+
+// Estimate serves a point-estimate batch over the binary codec (or JSON
+// when asJSON is set) and returns the answers with the fingerprint of
+// the table generation that produced all of them.
+func (c *Client) Estimate(qs []oracle.Query, asJSON bool) ([]oracle.Answer, string, error) {
+	if asJSON {
+		req := BatchRequest{Shard: c.Shard, Queries: make([]WireQuery, len(qs))}
+		for i, q := range qs {
+			req.Queries[i] = WireQuery{V: q.V, S: q.S}
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, "", err
+		}
+		data, _, err := c.post("/v1/estimate", "application/json", body)
+		if err != nil {
+			return nil, "", err
+		}
+		var resp EstimateResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, "", fmt.Errorf("decoding estimate response: %w", err)
+		}
+		answers := make([]oracle.Answer, len(resp.Answers))
+		for i, a := range resp.Answers {
+			answers[i].OK = a.OK
+			answers[i].Est.Dist = a.Dist
+			answers[i].Est.Src = a.Src
+			answers[i].Est.Via = a.Via
+			answers[i].Est.Instance = a.Instance
+			answers[i].Est.Flag = a.Flag
+		}
+		return answers, resp.Fingerprint, nil
+	}
+	data, resp, err := c.post("/v1/estimate?shard="+url.QueryEscape(c.Shard), ContentTypeBinary, EncodeQueries(qs))
+	if err != nil {
+		return nil, "", err
+	}
+	answers, err := DecodeAnswers(data)
+	if err != nil {
+		return nil, "", err
+	}
+	return answers, resp.Header.Get("X-Pde-Fingerprint"), nil
+}
+
+// NextHop serves a next-hop batch over the binary codec (or JSON).
+func (c *Client) NextHop(qs []oracle.Query, asJSON bool) ([]Hop, string, error) {
+	if asJSON {
+		req := BatchRequest{Shard: c.Shard, Queries: make([]WireQuery, len(qs))}
+		for i, q := range qs {
+			req.Queries[i] = WireQuery{V: q.V, S: q.S}
+		}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, "", err
+		}
+		data, _, err := c.post("/v1/nexthop", "application/json", body)
+		if err != nil {
+			return nil, "", err
+		}
+		var resp NexthopResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, "", fmt.Errorf("decoding nexthop response: %w", err)
+		}
+		return resp.Hops, resp.Fingerprint, nil
+	}
+	data, resp, err := c.post("/v1/nexthop?shard="+url.QueryEscape(c.Shard), ContentTypeBinary, EncodeQueries(qs))
+	if err != nil {
+		return nil, "", err
+	}
+	hops, err := DecodeHops(data)
+	if err != nil {
+		return nil, "", err
+	}
+	return hops, resp.Header.Get("X-Pde-Fingerprint"), nil
+}
+
+// Route expands a batch of (from, to) pairs.
+func (c *Client) Route(pairs []WirePair) (*RouteResponse, error) {
+	body, err := json.Marshal(&RouteRequest{Shard: c.Shard, Pairs: pairs})
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := c.post("/v1/route", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp RouteResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("decoding route response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Rebuild hot-swaps the client's shard with the given spec overrides.
+func (c *Client) Rebuild(req RebuildRequest) (*RebuildResponse, error) {
+	req.Shard = c.Shard
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := c.post("/v1/rebuild", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp RebuildResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("decoding rebuild response: %w", err)
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, data)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("decoding stats: %w", err)
+	}
+	return &st, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health() (*HealthResponse, error) {
+	resp, err := c.http().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, data)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("decoding healthz: %w", err)
+	}
+	return &h, nil
+}

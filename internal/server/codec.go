@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pde/internal/oracle"
+)
+
+// Binary batch codec: the allocation-light alternative to the JSON bodies
+// for bulk traffic. Every frame is length-prefixed — a 4-byte magic, a
+// u32 record count, then count fixed-width little-endian records — so a
+// reader can validate the exact body size before touching a record and a
+// torn or truncated body is rejected, never partially decoded.
+//
+//	queries  "PDEQ" | u32 count | count × { i32 v | i32 s }            (8 B/record)
+//	answers  "PDEA" | u32 count | count × { f64 dist | i32 src |
+//	                                        i32 via | i32 inst |
+//	                                        u8 flag | u8 ok }         (22 B/record)
+//	hops     "PDEH" | u32 count | count × { i32 next | u8 ok }         (5 B/record)
+//
+// Requests carry the shard in the ?shard= query parameter; responses echo
+// the serving table's build fingerprint in the X-Pde-Fingerprint header.
+// ContentTypeBinary marks both directions.
+const ContentTypeBinary = "application/x-pde-batch"
+
+const (
+	magicQueries = "PDEQ"
+	magicAnswers = "PDEA"
+	magicHops    = "PDEH"
+
+	queryRecordSize  = 8
+	answerRecordSize = 22
+	hopRecordSize    = 5
+)
+
+// Hop is one next-hop answer (the JSON and binary wire record).
+type Hop struct {
+	Next int32 `json:"next"`
+	OK   bool  `json:"ok"`
+}
+
+func putHeader(buf []byte, magic string, count int) {
+	copy(buf[:4], magic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(count))
+}
+
+// checkHeader validates magic + exact length-prefixed body size and
+// returns the record count.
+func checkHeader(data []byte, magic string, recordSize int) (int, error) {
+	if len(data) < 8 {
+		return 0, fmt.Errorf("binary body too short: %d bytes", len(data))
+	}
+	if string(data[:4]) != magic {
+		return 0, fmt.Errorf("bad magic %q (want %q)", data[:4], magic)
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:8]))
+	if want := 8 + count*recordSize; len(data) != want {
+		return 0, fmt.Errorf("length prefix says %d records (%d bytes), body has %d bytes", count, want, len(data))
+	}
+	return count, nil
+}
+
+// EncodeQueries frames a query batch.
+func EncodeQueries(qs []oracle.Query) []byte {
+	buf := make([]byte, 8+len(qs)*queryRecordSize)
+	putHeader(buf, magicQueries, len(qs))
+	for i, q := range qs {
+		off := 8 + i*queryRecordSize
+		binary.LittleEndian.PutUint32(buf[off:], uint32(q.V))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(q.S))
+	}
+	return buf
+}
+
+// DecodeQueries parses a framed query batch.
+func DecodeQueries(data []byte) ([]oracle.Query, error) {
+	count, err := checkHeader(data, magicQueries, queryRecordSize)
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]oracle.Query, count)
+	for i := range qs {
+		off := 8 + i*queryRecordSize
+		qs[i].V = int32(binary.LittleEndian.Uint32(data[off:]))
+		qs[i].S = int32(binary.LittleEndian.Uint32(data[off+4:]))
+	}
+	return qs, nil
+}
+
+// EncodeAnswers frames an estimate answer batch.
+func EncodeAnswers(answers []oracle.Answer) []byte {
+	buf := make([]byte, 8+len(answers)*answerRecordSize)
+	putHeader(buf, magicAnswers, len(answers))
+	for i, a := range answers {
+		off := 8 + i*answerRecordSize
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(a.Est.Dist))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(a.Est.Src))
+		binary.LittleEndian.PutUint32(buf[off+12:], uint32(a.Est.Via))
+		binary.LittleEndian.PutUint32(buf[off+16:], uint32(int32(a.Est.Instance)))
+		buf[off+20] = a.Est.Flag
+		if a.OK {
+			buf[off+21] = 1
+		}
+	}
+	return buf
+}
+
+// DecodeAnswers parses a framed estimate answer batch.
+func DecodeAnswers(data []byte) ([]oracle.Answer, error) {
+	count, err := checkHeader(data, magicAnswers, answerRecordSize)
+	if err != nil {
+		return nil, err
+	}
+	answers := make([]oracle.Answer, count)
+	for i := range answers {
+		off := 8 + i*answerRecordSize
+		answers[i].Est.Dist = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		answers[i].Est.Src = int32(binary.LittleEndian.Uint32(data[off+8:]))
+		answers[i].Est.Via = int32(binary.LittleEndian.Uint32(data[off+12:]))
+		answers[i].Est.Instance = int(int32(binary.LittleEndian.Uint32(data[off+16:])))
+		answers[i].Est.Flag = data[off+20]
+		switch data[off+21] {
+		case 0:
+		case 1:
+			answers[i].OK = true
+		default:
+			return nil, fmt.Errorf("answer %d: ok byte is %d, want 0 or 1", i, data[off+21])
+		}
+	}
+	return answers, nil
+}
+
+// EncodeHops frames a next-hop answer batch.
+func EncodeHops(hops []Hop) []byte {
+	buf := make([]byte, 8+len(hops)*hopRecordSize)
+	putHeader(buf, magicHops, len(hops))
+	for i, h := range hops {
+		off := 8 + i*hopRecordSize
+		binary.LittleEndian.PutUint32(buf[off:], uint32(h.Next))
+		if h.OK {
+			buf[off+4] = 1
+		}
+	}
+	return buf
+}
+
+// DecodeHops parses a framed next-hop answer batch.
+func DecodeHops(data []byte) ([]Hop, error) {
+	count, err := checkHeader(data, magicHops, hopRecordSize)
+	if err != nil {
+		return nil, err
+	}
+	hops := make([]Hop, count)
+	for i := range hops {
+		off := 8 + i*hopRecordSize
+		hops[i].Next = int32(binary.LittleEndian.Uint32(data[off:]))
+		switch data[off+4] {
+		case 0:
+		case 1:
+			hops[i].OK = true
+		default:
+			return nil, fmt.Errorf("hop %d: ok byte is %d, want 0 or 1", i, data[off+4])
+		}
+	}
+	return hops, nil
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestDriveBatches pins the fan-out contract: every batch index is
+// claimed exactly once, and the first error stops the fleet and is
+// returned.
+func TestDriveBatches(t *testing.T) {
+	const batches = 100
+	var mu sync.Mutex
+	seen := make(map[int]int, batches)
+	if err := DriveBatches(4, batches, func(client, batch int) error {
+		if client < 0 || client >= 4 {
+			t.Errorf("client index %d out of range", client)
+		}
+		mu.Lock()
+		seen[batch]++
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatalf("DriveBatches: %v", err)
+	}
+	if len(seen) != batches {
+		t.Fatalf("claimed %d distinct batches, want %d", len(seen), batches)
+	}
+	for batch, count := range seen {
+		if count != 1 {
+			t.Fatalf("batch %d claimed %d times", batch, count)
+		}
+	}
+
+	// clients <= 0 still runs everything on one goroutine.
+	ran := 0
+	if err := DriveBatches(0, 3, func(_, _ int) error { ran++; return nil }); err != nil || ran != 3 {
+		t.Fatalf("clients=0: ran %d batches, err %v", ran, err)
+	}
+
+	// SplitSpans covers the stream exactly, last span short.
+	spans := SplitSpans(10, 4)
+	if len(spans) != 3 || spans[0] != (Span{0, 4}) || spans[2] != (Span{8, 10}) {
+		t.Fatalf("SplitSpans(10, 4) = %v", spans)
+	}
+	if spans := SplitSpans(5, 0); len(spans) != 1 || spans[0] != (Span{0, 5}) {
+		t.Fatalf("SplitSpans(5, 0) = %v", spans)
+	}
+	if spans := SplitSpans(0, 4); len(spans) != 0 {
+		t.Fatalf("SplitSpans(0, 4) = %v", spans)
+	}
+
+	// The first error is returned and stops further claims.
+	boom := errors.New("boom")
+	var claimed int
+	mu = sync.Mutex{}
+	err := DriveBatches(1, batches, func(_, batch int) error {
+		mu.Lock()
+		claimed++
+		mu.Unlock()
+		if batch == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	if claimed >= batches {
+		t.Fatal("error did not stop the fleet")
+	}
+}

@@ -1,0 +1,715 @@
+// Package server is the network face of the repository: a long-lived,
+// sharded distance-query daemon over the compiled oracle
+// (internal/oracle). Each named shard is an independently built scenario
+// (topology + PDE parameters) compiled into its own immutable oracle;
+// queries against a shard are coalesced into micro-batches and served by
+// oracle.AnswerInto, so the daemon's hot path is the same indexed lookup
+// the in-process benchmarks measure.
+//
+// Hot swaps: a shard's tables live behind an atomic pointer. The admin
+// /v1/rebuild endpoint constructs a complete replacement off to the side
+// (different ε/h/σ, a fresh seed, even a different topology) and
+// publishes it with one pointer swap — in-flight queries finish against
+// the old tables, later ones see the new, and nothing is dropped or torn:
+// every response carries the build fingerprint of the exact table
+// generation that answered all of its queries.
+//
+// Endpoints (JSON unless noted; POST bodies, GET for health/stats):
+//
+//	POST /v1/estimate   batch of (v, s) point estimates
+//	POST /v1/nexthop    batch of (v, s) next-hop decisions
+//	POST /v1/route      batch of (from, to) full route expansions (LRU-cached)
+//	POST /v1/rebuild    rebuild a shard's tables and hot-swap them in
+//	GET  /v1/stats      per-shard counters, batch shape, cache hit rate
+//	GET  /healthz       liveness + shard inventory
+//
+// /v1/estimate and /v1/nexthop also speak the length-prefixed binary
+// batch codec (see codec.go): send Content-Type application/x-pde-batch
+// with ?shard= in the URL and the response body is the matching binary
+// frame, with the table fingerprint in the X-Pde-Fingerprint header.
+//
+// Errors are always the JSON envelope {"error": {"code", "message"}}:
+// 400 bad_request / out_of_range / empty_batch, 404 unknown_shard,
+// 405 method_not_allowed, 413 batch_too_large.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+)
+
+// Config tunes the serving layer. The zero value gets sensible defaults.
+type Config struct {
+	// MaxBatch is the largest number of queries (or route pairs) one
+	// request may carry; bigger bodies are rejected with 413.
+	MaxBatch int
+	// CoalesceLimit caps the point lookups one micro-batch flush carries.
+	CoalesceLimit int
+	// CoalesceWait > 0 holds a lone request open that long waiting for
+	// companions (latency-for-throughput); 0 coalesces opportunistically.
+	CoalesceWait time.Duration
+	// Workers is the oracle.AnswerInto fan-out per flush (0 = GOMAXPROCS).
+	Workers int
+	// RouteCacheSize is the per-shard LRU capacity for expanded routes;
+	// < 0 disables the cache.
+	RouteCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 65536
+	}
+	if c.CoalesceLimit <= 0 {
+		c.CoalesceLimit = 16384
+	}
+	if c.RouteCacheSize == 0 {
+		c.RouteCacheSize = 4096
+	}
+	return c
+}
+
+// Server is the sharded query daemon. It implements http.Handler; wrap it
+// in an http.Server (cmd/pde-serve) or httptest.Server (tests, bench).
+// The shard set is fixed at construction; /v1/rebuild replaces a shard's
+// tables in place.
+type Server struct {
+	cfg   Config
+	slots map[string]*slot
+	names []string // sorted shard names
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// Prebuilt hands New already-constructed tables so callers that have paid
+// for a build (bench, tests) can serve it without rebuilding. BuildNS is
+// reported in stats.
+type Prebuilt struct {
+	Name    string
+	Spec    Spec
+	G       *graph.Graph
+	Res     *core.Result
+	BuildNS int64
+}
+
+// New builds every spec into its own shard and returns the daemon.
+func New(specs map[string]Spec, cfg Config) (*Server, error) {
+	built := make([]namedShard, 0, len(specs))
+	for name, sp := range specs {
+		sh, err := buildShard(sp)
+		if err != nil {
+			return nil, fmt.Errorf("shard %q: %w", name, err)
+		}
+		built = append(built, namedShard{name: name, sh: sh})
+	}
+	return assemble(cfg, built)
+}
+
+// NewWithPrebuilt assembles a daemon around tables built elsewhere.
+func NewWithPrebuilt(cfg Config, shards ...Prebuilt) (*Server, error) {
+	built := make([]namedShard, 0, len(shards))
+	for _, p := range shards {
+		built = append(built, namedShard{name: p.Name, sh: newShard(p.Spec, p.G, p.Res, p.BuildNS)})
+	}
+	return assemble(cfg, built)
+}
+
+type namedShard struct {
+	name string
+	sh   *shard
+}
+
+// assemble wires already-compiled shards into a serving daemon.
+func assemble(cfg Config, shards []namedShard) (*Server, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("server: at least one shard is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, slots: make(map[string]*slot, len(shards)), start: time.Now()}
+	for _, p := range shards {
+		if p.name == "" {
+			return nil, fmt.Errorf("server: shard name must be non-empty")
+		}
+		if _, dup := s.slots[p.name]; dup {
+			return nil, fmt.Errorf("server: duplicate shard %q", p.name)
+		}
+		sl := &slot{name: p.name, cache: newRouteCache(cfg.RouteCacheSize)}
+		sl.swap(p.sh)
+		sl.batch = newBatcher(sl, cfg.CoalesceLimit, cfg.CoalesceWait, cfg.Workers)
+		s.slots[p.name] = sl
+		s.names = append(s.names, p.name)
+	}
+	sort.Strings(s.names)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/nexthop", s.handleNextHop)
+	s.mux.HandleFunc("/v1/route", s.handleRoute)
+	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the per-shard dispatcher goroutines. Requests in flight
+// when Close is called may hang; shut the HTTP server down first.
+func (s *Server) Close() {
+	for _, sl := range s.slots {
+		sl.batch.close()
+	}
+}
+
+// Shards returns the sorted shard names.
+func (s *Server) Shards() []string { return append([]string(nil), s.names...) }
+
+// Fingerprint returns the named shard's current build fingerprint.
+func (s *Server) Fingerprint(name string) (string, bool) {
+	sl, ok := s.slots[name]
+	if !ok {
+		return "", false
+	}
+	return sl.load().fp, true
+}
+
+// --- error envelope ----------------------------------------------------
+
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeBinary sends a codec frame with an explicit Content-Length, so
+// large batch responses skip chunked encoding and clients can read them
+// into an exact-sized buffer.
+func writeBinary(w http.ResponseWriter, shard, fp string, frame []byte) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header().Set("X-Pde-Shard", shard)
+	w.Header().Set("X-Pde-Fingerprint", fp)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.Write(frame)
+}
+
+// decodeJSON parses a JSON body capped at limit bytes, writing the
+// protocol error itself on failure. The binary path rejects oversized
+// bodies before allocating; this is the JSON side of the same guarantee
+// — a multi-gigabyte body hits the cap, not the heap.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", "parsing JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// jsonBatchLimit bounds a JSON batch body: generous per-query slack on
+// top of the MaxBatch record count.
+func (s *Server) jsonBatchLimit() int64 { return 4096 + 64*int64(s.cfg.MaxBatch) }
+
+// requirePost returns false (having written the error) unless r is a POST.
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires POST, got %s", r.URL.Path, r.Method)
+		return false
+	}
+	return true
+}
+
+// --- wire types --------------------------------------------------------
+
+type WireQuery struct {
+	V int32 `json:"v"`
+	S int32 `json:"s"`
+}
+
+type BatchRequest struct {
+	Shard   string      `json:"shard"`
+	Queries []WireQuery `json:"queries"`
+}
+
+type WireAnswer struct {
+	OK       bool    `json:"ok"`
+	Dist     float64 `json:"dist"`
+	Src      int32   `json:"src"`
+	Via      int32   `json:"via"`
+	Instance int     `json:"instance"`
+	Flag     uint8   `json:"flag"`
+}
+
+type EstimateResponse struct {
+	Shard       string       `json:"shard"`
+	Fingerprint string       `json:"fingerprint"`
+	Answers     []WireAnswer `json:"answers"`
+}
+
+type NexthopResponse struct {
+	Shard       string `json:"shard"`
+	Fingerprint string `json:"fingerprint"`
+	Hops        []Hop  `json:"hops"`
+}
+
+type WirePair struct {
+	From int32 `json:"from"`
+	To   int32 `json:"to"`
+}
+
+type RouteRequest struct {
+	Shard string     `json:"shard"`
+	Pairs []WirePair `json:"pairs"`
+}
+
+type WireRoute struct {
+	OK     bool         `json:"ok"`
+	Path   []int        `json:"path,omitempty"`
+	Weight graph.Weight `json:"weight,omitempty"`
+	Cached bool         `json:"cached,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+type RouteResponse struct {
+	Shard       string      `json:"shard"`
+	Fingerprint string      `json:"fingerprint"`
+	Routes      []WireRoute `json:"routes"`
+}
+
+// --- batch ingestion ---------------------------------------------------
+
+// isBinary reports whether the request body is the binary batch codec.
+func isBinary(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary)
+}
+
+// readBatch parses a query batch in either encoding and resolves its
+// slot, writing the protocol error itself when it returns ok=false.
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) (*slot, []oracle.Query, bool) {
+	var shardName string
+	var qs []oracle.Query
+	if isBinary(r) {
+		shardName = r.URL.Query().Get("shard")
+		if shardName == "" {
+			writeError(w, http.StatusBadRequest, "bad_request", "binary batches name the shard in the ?shard= query parameter")
+			return nil, nil, false
+		}
+		// Read the exact announced length when the client sends one (the
+		// hot path: no growth reallocs); fall back to a capped ReadAll.
+		limit := int64(8 + (s.cfg.MaxBatch+1)*queryRecordSize)
+		var body []byte
+		var err error
+		if cl := r.ContentLength; cl >= 0 && cl <= limit {
+			body = make([]byte, cl)
+			_, err = io.ReadFull(r.Body, body)
+		} else if cl > limit {
+			writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch exceeds the %d-query limit", s.cfg.MaxBatch)
+			return nil, nil, false
+		} else {
+			body, err = io.ReadAll(io.LimitReader(r.Body, limit))
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+			return nil, nil, false
+		}
+		if count := (len(body) - 8) / queryRecordSize; count > s.cfg.MaxBatch {
+			writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch exceeds the %d-query limit", s.cfg.MaxBatch)
+			return nil, nil, false
+		}
+		qs, err = DecodeQueries(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "binary batch: %v", err)
+			return nil, nil, false
+		}
+	} else {
+		var req BatchRequest
+		if !decodeJSON(w, r, &req, s.jsonBatchLimit()) {
+			return nil, nil, false
+		}
+		shardName = req.Shard
+		qs = make([]oracle.Query, len(req.Queries))
+		for i, q := range req.Queries {
+			qs[i] = oracle.Query{V: q.V, S: q.S}
+		}
+	}
+	sl, ok := s.slots[shardName]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_shard", "no shard named %q (have %s)", shardName, strings.Join(s.names, ", "))
+		return nil, nil, false
+	}
+	if len(qs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", "batch carries no queries")
+		return nil, nil, false
+	}
+	if len(qs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch carries %d queries, limit is %d", len(qs), s.cfg.MaxBatch)
+		return nil, nil, false
+	}
+	n := int32(sl.load().g.N())
+	for i, q := range qs {
+		if q.V < 0 || q.V >= n || q.S < 0 || q.S >= n {
+			writeError(w, http.StatusBadRequest, "out_of_range", "query %d: (v=%d, s=%d) outside [0, %d)", i, q.V, q.S, n)
+			return nil, nil, false
+		}
+	}
+	return sl, qs, true
+}
+
+// --- endpoint handlers -------------------------------------------------
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	binary := isBinary(r)
+	sl, qs, ok := s.readBatch(w, r)
+	if !ok {
+		return
+	}
+	answers, sh := sl.batch.submit(qs)
+	sl.stats.estimateQueries.Add(int64(len(qs)))
+	if binary {
+		writeBinary(w, sl.name, sh.fp, EncodeAnswers(answers))
+		return
+	}
+	resp := EstimateResponse{Shard: sl.name, Fingerprint: sh.fp, Answers: make([]WireAnswer, len(answers))}
+	for i, a := range answers {
+		resp.Answers[i] = WireAnswer{
+			OK: a.OK, Dist: a.Est.Dist, Src: a.Est.Src, Via: a.Est.Via,
+			Instance: a.Est.Instance, Flag: a.Est.Flag,
+		}
+	}
+	writeJSON(w, &resp)
+}
+
+func (s *Server) handleNextHop(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	binary := isBinary(r)
+	sl, qs, ok := s.readBatch(w, r)
+	if !ok {
+		return
+	}
+	// Next hops are derived from the same oracle entries the estimate
+	// path serves, so the queries ride the same micro-batcher and the
+	// whole request is answered by one snapshot. The v == s terminal
+	// convention (core.Router.NextHop) is applied after the lookup.
+	answers, sh := sl.batch.submit(qs)
+	sl.stats.nexthopQueries.Add(int64(len(qs)))
+	hops := make([]Hop, len(qs))
+	for i, q := range qs {
+		switch {
+		case q.V == q.S:
+			hops[i] = Hop{Next: q.V, OK: true}
+		case answers[i].OK && answers[i].Est.Via >= 0:
+			hops[i] = Hop{Next: answers[i].Est.Via, OK: true}
+		default:
+			hops[i] = Hop{Next: -1, OK: false}
+		}
+	}
+	if binary {
+		writeBinary(w, sl.name, sh.fp, EncodeHops(hops))
+		return
+	}
+	writeJSON(w, &NexthopResponse{Shard: sl.name, Fingerprint: sh.fp, Hops: hops})
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req RouteRequest
+	if !decodeJSON(w, r, &req, s.jsonBatchLimit()) {
+		return
+	}
+	sl, ok := s.slots[req.Shard]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_shard", "no shard named %q (have %s)", req.Shard, strings.Join(s.names, ", "))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", "batch carries no route pairs")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch carries %d pairs, limit is %d", len(req.Pairs), s.cfg.MaxBatch)
+		return
+	}
+	// One snapshot serves the whole request; the cache key carries its
+	// fingerprint so a hot-swap can never serve a stale expansion.
+	sh := sl.load()
+	n := int32(sh.g.N())
+	for i, p := range req.Pairs {
+		if p.From < 0 || p.From >= n || p.To < 0 || p.To >= n {
+			writeError(w, http.StatusBadRequest, "out_of_range", "pair %d: (from=%d, to=%d) outside [0, %d)", i, p.From, p.To, n)
+			return
+		}
+	}
+	resp := RouteResponse{Shard: sl.name, Fingerprint: sh.fp, Routes: make([]WireRoute, len(req.Pairs))}
+	for i, p := range req.Pairs {
+		key := routeCacheKey{fp: sh.fp, v: p.From, s: p.To}
+		if rt, hit := sl.cache.get(key); hit {
+			sl.stats.cacheHits.Add(1)
+			resp.Routes[i] = WireRoute{OK: true, Path: rt.Path, Weight: rt.Weight, Cached: true}
+			continue
+		}
+		sl.stats.cacheMisses.Add(1)
+		rt, err := sh.router.Route(int(p.From), p.To)
+		if err != nil {
+			resp.Routes[i] = WireRoute{OK: false, Error: err.Error()}
+			continue
+		}
+		sl.cache.put(key, rt)
+		resp.Routes[i] = WireRoute{OK: true, Path: rt.Path, Weight: rt.Weight}
+	}
+	sl.stats.routeQueries.Add(int64(len(req.Pairs)))
+	writeJSON(w, &resp)
+}
+
+// RebuildRequest is the admin hot-swap body: the shard to rebuild plus
+// any spec fields to override (absent fields keep their current value,
+// so {"shard": "main", "seed": 7} regenerates the same scenario family
+// with a fresh topology).
+type RebuildRequest struct {
+	Shard        string   `json:"shard"`
+	Topology     *string  `json:"topology,omitempty"`
+	N            *int     `json:"n,omitempty"`
+	Eps          *float64 `json:"eps,omitempty"`
+	MaxW         *int64   `json:"maxw,omitempty"`
+	H            *int     `json:"h,omitempty"`
+	Sigma        *int     `json:"sigma,omitempty"`
+	Seed         *int64   `json:"seed,omitempty"`
+	BuildWorkers *int     `json:"build_workers,omitempty"`
+}
+
+type RebuildResponse struct {
+	Shard          string `json:"shard"`
+	OldFingerprint string `json:"old_fingerprint"`
+	NewFingerprint string `json:"new_fingerprint"`
+	Changed        bool   `json:"changed"`
+	BuildNS        int64  `json:"build_ns"`
+	N              int    `json:"n"`
+	M              int    `json:"m"`
+	Spec           Spec   `json:"spec"`
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req RebuildRequest
+	if !decodeJSON(w, r, &req, 1<<20) {
+		return
+	}
+	sl, ok := s.slots[req.Shard]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_shard", "no shard named %q (have %s)", req.Shard, strings.Join(s.names, ", "))
+		return
+	}
+	// Serialize rebuilds per shard; queries keep flowing against the old
+	// tables for the whole build and only the final pointer swap is
+	// atomic.
+	sl.buildMu.Lock()
+	defer sl.buildMu.Unlock()
+
+	spec := sl.load().spec
+	if req.Topology != nil {
+		spec.Topology = *req.Topology
+	}
+	if req.N != nil {
+		spec.N = *req.N
+	}
+	if req.Eps != nil {
+		spec.Eps = *req.Eps
+	}
+	if req.MaxW != nil {
+		spec.MaxW = *req.MaxW
+	}
+	if req.H != nil {
+		spec.H = *req.H
+	}
+	if req.Sigma != nil {
+		spec.Sigma = *req.Sigma
+	}
+	if req.Seed != nil {
+		spec.Seed = *req.Seed
+	}
+	if req.BuildWorkers != nil {
+		spec.BuildWorkers = *req.BuildWorkers
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid spec: %v", err)
+		return
+	}
+	sh, err := buildShard(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "build_failed", "rebuilding shard %q: %v", req.Shard, err)
+		return
+	}
+	oldFP := sl.swap(sh)
+	// The swap is verified by fingerprint: what the slot now serves must
+	// be exactly the generation this rebuild constructed.
+	if got := sl.load().fp; got != sh.fp {
+		writeError(w, http.StatusInternalServerError, "build_failed", "post-swap fingerprint %s != built %s", got, sh.fp)
+		return
+	}
+	writeJSON(w, &RebuildResponse{
+		Shard:          req.Shard,
+		OldFingerprint: oldFP,
+		NewFingerprint: sh.fp,
+		Changed:        oldFP != sh.fp,
+		BuildNS:        sh.buildNS,
+		N:              sh.g.N(),
+		M:              sh.g.M(),
+		Spec:           spec,
+	})
+}
+
+// --- stats & health ----------------------------------------------------
+
+type BatchStats struct {
+	Flushes    int64   `json:"flushes"`
+	Requests   int64   `json:"requests"`
+	Queries    int64   `json:"queries"`
+	AvgQueries float64 `json:"avg_queries"`
+	MaxQueries int64   `json:"max_queries"`
+}
+
+type CacheStats struct {
+	Size    int     `json:"size"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type QueryCounts struct {
+	Estimate int64 `json:"estimate"`
+	NextHop  int64 `json:"nexthop"`
+	Route    int64 `json:"route"`
+	Total    int64 `json:"total"`
+}
+
+type ShardStatus struct {
+	Spec           Spec        `json:"spec"`
+	N              int         `json:"n"`
+	M              int         `json:"m"`
+	Fingerprint    string      `json:"fingerprint"`
+	Builds         int64       `json:"builds"`
+	LastSwapUnixNS int64       `json:"last_swap_unix_ns"`
+	BuildNS        int64       `json:"build_ns"`
+	OracleEntries  int         `json:"oracle_entries"`
+	OracleBytes    int64       `json:"oracle_bytes"`
+	Queries        QueryCounts `json:"queries"`
+	QPS            float64     `json:"qps"`
+	Batches        BatchStats  `json:"batches"`
+	RouteCache     CacheStats  `json:"route_cache"`
+}
+
+type StatsResponse struct {
+	UptimeNS   int64                  `json:"uptime_ns"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Shards     map[string]ShardStatus `json:"shards"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires GET, got %s", r.URL.Path, r.Method)
+		return
+	}
+	uptime := time.Since(s.start)
+	resp := StatsResponse{
+		UptimeNS:   uptime.Nanoseconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     make(map[string]ShardStatus, len(s.slots)),
+	}
+	for name, sl := range s.slots {
+		sh := sl.load()
+		st := &sl.stats
+		qc := QueryCounts{
+			Estimate: st.estimateQueries.Load(),
+			NextHop:  st.nexthopQueries.Load(),
+			Route:    st.routeQueries.Load(),
+		}
+		qc.Total = qc.Estimate + qc.NextHop + qc.Route
+		bs := BatchStats{
+			Flushes:    st.batches.Load(),
+			Requests:   st.batchedRequests.Load(),
+			Queries:    st.batchedQueries.Load(),
+			MaxQueries: st.maxBatch.Load(),
+		}
+		if bs.Flushes > 0 {
+			bs.AvgQueries = float64(bs.Queries) / float64(bs.Flushes)
+		}
+		cs := CacheStats{Size: sl.cache.len(), Hits: st.cacheHits.Load(), Misses: st.cacheMisses.Load()}
+		if lookups := cs.Hits + cs.Misses; lookups > 0 {
+			cs.HitRate = float64(cs.Hits) / float64(lookups)
+		}
+		status := ShardStatus{
+			Spec:           sh.spec,
+			N:              sh.g.N(),
+			M:              sh.g.M(),
+			Fingerprint:    sh.fp,
+			Builds:         st.builds.Load(),
+			LastSwapUnixNS: st.lastSwapUnixNS.Load(),
+			BuildNS:        sh.buildNS,
+			OracleEntries:  sh.o.Entries(),
+			OracleBytes:    sh.o.Bytes(),
+			Queries:        qc,
+			Batches:        bs,
+			RouteCache:     cs,
+		}
+		if secs := uptime.Seconds(); secs > 0 {
+			status.QPS = float64(qc.Total) / secs
+		}
+		resp.Shards[name] = status
+	}
+	writeJSON(w, &resp)
+}
+
+type HealthResponse struct {
+	Status   string   `json:"status"`
+	UptimeNS int64    `json:"uptime_ns"`
+	Shards   []string `json:"shards"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires GET, got %s", r.URL.Path, r.Method)
+		return
+	}
+	writeJSON(w, &HealthResponse{
+		Status:   "ok",
+		UptimeNS: time.Since(s.start).Nanoseconds(),
+		Shards:   s.Shards(),
+	})
+}

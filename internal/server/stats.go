@@ -1,0 +1,44 @@
+package server
+
+import "sync/atomic"
+
+// shardStats are the per-shard serving counters behind /v1/stats. They
+// live on the slot, not the shard, so a hot-swap resets nothing: traffic
+// history spans table generations while the fingerprint field identifies
+// the generation currently serving.
+type shardStats struct {
+	estimateQueries atomic.Int64 // point lookups served by /v1/estimate
+	nexthopQueries  atomic.Int64 // point lookups served by /v1/nexthop
+	routeQueries    atomic.Int64 // route expansions served by /v1/route
+
+	// Micro-batch shape: batches is dispatcher flushes, batchedRequests
+	// the HTTP requests coalesced into them, batchedQueries the point
+	// lookups those flushes carried, maxBatch the largest single flush.
+	batches         atomic.Int64
+	batchedRequests atomic.Int64
+	batchedQueries  atomic.Int64
+	maxBatch        atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	builds         atomic.Int64 // table generations built (1 = initial build)
+	lastSwapUnixNS atomic.Int64
+}
+
+func (st *shardStats) recordBatch(requests, queries int) {
+	st.batches.Add(1)
+	st.batchedRequests.Add(int64(requests))
+	st.batchedQueries.Add(int64(queries))
+	for {
+		cur := st.maxBatch.Load()
+		if int64(queries) <= cur || st.maxBatch.CompareAndSwap(cur, int64(queries)) {
+			return
+		}
+	}
+}
+
+// queriesTotal is every point lookup and route expansion served.
+func (st *shardStats) queriesTotal() int64 {
+	return st.estimateQueries.Load() + st.nexthopQueries.Load() + st.routeQueries.Load()
+}

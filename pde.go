@@ -143,6 +143,15 @@ func NewRouter(g *Graph, res *Estimation) *Router { return core.NewRouter(g, res
 // distance oracle for heavy query traffic (§2.4: distance queries answered
 // from local tables). To also route from the same index without compiling
 // twice, use the oracle's Router method instead of NewRouter.
+//
+// To serve oracle traffic over the network instead of in-process, see
+// internal/server and cmd/pde-serve: a long-lived daemon that holds one
+// or more scenarios as independently built oracle shards behind
+// /v1/estimate, /v1/nexthop and /v1/route (JSON or the binary batch
+// codec), coalesces concurrent requests into micro-batches, and
+// hot-swaps a shard's tables via /v1/rebuild without dropping or tearing
+// a single query — every response names the build fingerprint of the
+// table generation that answered it.
 func CompileOracle(res *Estimation) *Oracle { return oracle.Compile(res) }
 
 // BuildRoutingScheme constructs Theorem 4.5 routing tables: stretch
