@@ -23,6 +23,11 @@
 // daemon on a loopback listener and measure end-to-end throughput vs the
 // in-process baseline, failing if any answer diverges across the wire.
 //
+// Scheme scenarios (BENCH_scheme_*.json, schema "pde-scheme/v1", see
+// internal/bench/scheme.go) pin the stretch-vs-bytes-vs-qps tradeoff of
+// all three servable schemes (oracle | rtc | compact) on the identical
+// seeded graph and query streams, through the unified scheme registry.
+//
 // Usage:
 //
 //	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-workers n]
@@ -140,6 +145,13 @@ func main() {
 			selectedS = append(selectedS, s)
 		}
 	}
+	schemes := bench.SchemeScenarios()
+	selectedSch := schemes[:0]
+	for _, s := range schemes {
+		if keep(s.Name, s.Quick) {
+			selectedSch = append(selectedSch, s)
+		}
+	}
 	if *list {
 		for _, s := range selected {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
@@ -153,9 +165,13 @@ func main() {
 		for _, s := range selectedS {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "serve/estimate", s.Topology, s.N, s.Quick)
 		}
+		for _, s := range selectedSch {
+			sp := s.Spec.Normalized()
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "scheme/"+sp.Scheme, sp.Topology, sp.N, s.Quick)
+		}
 		return
 	}
-	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS)
+	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedSch)
 	if total == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
@@ -165,8 +181,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve), GOMAXPROCS=%d\n",
-		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d scheme), GOMAXPROCS=%d\n",
+		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedSch), runtime.GOMAXPROCS(0))
 	failed := 0
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
@@ -265,6 +281,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ok   %-28s queries=%-8d inproc=%.2fMq/s serve=%.2fMq/s ratio=%.2f avg_batch=%.0f\n",
 			s.Name, rep.Queries, rep.InprocQPS/1e6, rep.ServeQPS/1e6, rep.Ratio, rep.ServerAvgBatch)
+	}
+	for _, s := range selectedSch {
+		rep, err := bench.RunSchemeScenario(s)
+		if err != nil {
+			fail(s.Name, err)
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
+			continue
+		}
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok   %-28s scheme=%-7s stretch=%.2f/%.0f bytes=%.0fKiB qps=%.2fMq/s routes/s=%.0f\n",
+			s.Name, rep.Scheme, rep.MeasuredStretch, rep.StretchBound,
+			float64(rep.TableBytes)/1024, rep.EstimateQPS/1e6, rep.RoutesPerSec)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, total)

@@ -1,11 +1,14 @@
-// Command pde-compact builds the §4.3 compact routing hierarchy and
-// reports the table-size/stretch trade-off across k, including the
-// truncated strategies of Theorem 4.13 (simulate) and Corollary 4.14
-// (broadcast).
+// Command pde-compact builds the §4.3 compact routing hierarchy through
+// the unified scheme registry (internal/scheme, scheme "compact") and
+// reports the table-size/stretch trade-off, including the truncated
+// strategies of Theorem 4.13 (simulate) and Corollary 4.14 (broadcast).
+// It is a thin wrapper: everything it prints comes from the same Instance
+// the pde-serve daemon would serve.
 //
 // Usage:
 //
-//	pde-compact [-n 50] [-k 3] [-l0 0] [-strategy none|simulate|broadcast] [-seed 1]
+//	pde-compact [-topology random] [-n 50] [-k 3] [-l0 0]
+//	            [-strategy none|simulate|broadcast] [-seed 1]
 package main
 
 import (
@@ -13,36 +16,31 @@ import (
 	"fmt"
 	"os"
 
-	"pde"
+	"pde/internal/graph"
+	"pde/internal/scheme"
 )
 
 func main() {
+	topology := flag.String("topology", "random", graph.GeneratorList())
 	n := flag.Int("n", 50, "number of nodes")
 	k := flag.Int("k", 3, "levels (stretch <= 4k-3)")
 	l0 := flag.Int("l0", 0, "truncation level (0 = none)")
 	strategy := flag.String("strategy", "none", "none | simulate | broadcast")
+	maxW := flag.Int64("maxw", 12, "maximum edge weight")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
-	strat := pde.StrategyNone
-	switch *strategy {
-	case "none":
-	case "simulate":
-		strat = pde.StrategySimulate
-	case "broadcast":
-		strat = pde.StrategyBroadcast
-	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
-		os.Exit(2)
-	}
-	g := pde.RandomGraph(*n, 6.0/float64(*n), 12, *seed)
-	sch, err := pde.BuildCompactScheme(g, pde.CompactParams{
-		K: *k, Epsilon: 0.25, C: 1.5, L0: *l0, Strategy: strat, Seed: *seed,
-	}, pde.Config{Parallel: true})
+	inst, err := scheme.Build(scheme.Spec{
+		Scheme: "compact", Topology: *topology, N: *n, Eps: 0.25, MaxW: *maxW,
+		Seed: *seed, K: *k, Strategy: *strategy, L0: *l0,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ci := inst.(*scheme.CompactInstance)
+	sch, g := ci.Sch, inst.Graph()
+	fmt.Printf("graph: %s n=%d m=%d   fingerprint=%016x\n", *topology, g.N(), g.M(), inst.Fingerprint())
 	for l := 0; l < *k; l++ {
 		fmt.Printf("level %d: |S_%d| = %d\n", l, l, len(sch.Levels[l]))
 	}
@@ -50,37 +48,9 @@ func main() {
 		sch.Rounds.DirectLevels, sch.Rounds.SkeletonPDE, sch.Rounds.TruncatedSim,
 		sch.Rounds.TreeLabeling, sch.Rounds.Total)
 
-	truth := pde.GroundTruth(g)
-	worst, sum, cnt := 0.0, 0.0, 0
-	maxWords, sumWords, maxBits := 0, 0, 0
-	for v := 0; v < g.N(); v++ {
-		w := sch.TableWords(v)
-		sumWords += w
-		if w > maxWords {
-			maxWords = w
-		}
-		if b := sch.LabelBits(v); b > maxBits {
-			maxBits = b
-		}
-		for u := 0; u < g.N(); u++ {
-			if v == u {
-				continue
-			}
-			rt, err := sch.Route(v, sch.Labels[u])
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			s := rt.Stretch(truth.Dist(v, u))
-			sum += s
-			cnt++
-			if s > worst {
-				worst = s
-			}
-		}
-	}
-	fmt.Printf("stretch: max=%.3f mean=%.3f bound(4k-3)=%d\n", worst, sum/float64(cnt), 4**k-3)
-	fmt.Printf("tables: mean=%.1f max=%d words; shared (global) state=%d words\n",
-		float64(sumWords)/float64(g.N()), maxWords, sch.SharedWords())
-	fmt.Printf("labels: max %d bits (O(k log n))\n", maxBits)
+	a := inst.Accounting()
+	fmt.Printf("stretch: max=%.3f mean=%.3f over %d probe routes, bound(4k-3)=%.0f\n",
+		a.MeasuredStretch, a.MeanStretch, a.ProbeRoutes, a.StretchBound)
+	fmt.Printf("tables: %d words incl. %d shared (%.1f KiB)   labels: max %d bits, mean %.1f (O(k log n))\n",
+		a.Entries, sch.SharedWords(), float64(a.TableBytes)/1024, a.MaxLabelBits, a.AvgLabelBits)
 }

@@ -8,8 +8,15 @@
 //
 //	pde-query [-n 256] [-topology random|grid|internet|ring|powerlaw|
 //	          community|roadgrid] [-eps 0.5] [-maxw 16] [-h 0] [-sigma 0]
+//	          [-scheme oracle|rtc|compact] [-k 0] [-sample-prob 0]
 //	          [-queries 1000000] [-workers 1] [-build-workers 0]
 //	          [-workload estimate|nexthop|route] [-seed 1] [-legacy] [-json]
+//
+// With -scheme rtc or compact, the tables are built through the unified
+// registry (internal/scheme) and the stream is served from that scheme's
+// AnswerInto/Route surface — the same code path a pde-serve scheme shard
+// uses — with the scheme's table/label/stretch accounting in the summary.
+// The oracle-specific -legacy comparison is unavailable there.
 //
 //	-h/-sigma 0   means full APSP (S = V, h = σ = n); positive values run
 //	              a partial sweep with every third node a source
@@ -57,11 +64,13 @@ import (
 	"pde/internal/core"
 	"pde/internal/graph"
 	"pde/internal/oracle"
+	"pde/internal/scheme"
 	"pde/internal/server"
 )
 
 type summary struct {
 	Workload      string  `json:"workload"`
+	Scheme        string  `json:"scheme,omitempty"`
 	Topology      string  `json:"topology"`
 	N             int     `json:"n"`
 	M             int     `json:"m"`
@@ -78,6 +87,12 @@ type summary struct {
 	QPS           float64 `json:"qps"`
 	NSPerQuery    float64 `json:"ns_per_query"`
 
+	// Scheme-mode fields (absent for the oracle workloads).
+	TableBytes      int64   `json:"table_bytes,omitempty"`
+	MaxLabelBits    int     `json:"max_label_bits,omitempty"`
+	MeasuredStretch float64 `json:"measured_stretch,omitempty"`
+	StretchBound    float64 `json:"stretch_bound,omitempty"`
+
 	// Remote-mode fields (absent in local runs).
 	Remote    string `json:"remote,omitempty"`
 	Shard     string `json:"shard,omitempty"`
@@ -89,7 +104,10 @@ type summary struct {
 
 func main() {
 	n := flag.Int("n", 256, "number of nodes")
-	topology := flag.String("topology", "random", "random | grid | internet | ring | powerlaw | community | roadgrid")
+	topology := flag.String("topology", "random", graph.GeneratorList())
+	schemeName := flag.String("scheme", "oracle", "local mode: which scheme's tables to build and query ("+scheme.List()+")")
+	k := flag.Int("k", 0, "rtc/compact stretch parameter (0 = scheme default)")
+	sampleProb := flag.Float64("sample-prob", 0, "rtc skeleton sampling probability override")
 	eps := flag.Float64("eps", 0.5, "PDE approximation slack")
 	maxW := flag.Int64("maxw", 16, "maximum edge weight")
 	h := flag.Int("h", 0, "hop bound (0 = APSP)")
@@ -116,33 +134,21 @@ func main() {
 		return
 	}
 
+	if *schemeName != "oracle" && *schemeName != "" {
+		runScheme(schemeOpts{
+			scheme: *schemeName, topology: *topology, n: *n, eps: *eps,
+			maxW: *maxW, h: *h, sigma: *sigma, seed: *seed, k: *k,
+			sampleProb: *sampleProb, buildWorkers: *buildWorkers,
+			workload: *workload, queries: *queries, workers: *workers,
+			asJSON: *asJSON, legacy: *legacy,
+		})
+		return
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
-	var g *graph.Graph
-	switch *topology {
-	case "random":
-		g = graph.RandomConnected(*n, 8.0/float64(*n), graph.Weight(*maxW), rng)
-	case "grid":
-		side := 1
-		for side*side < *n {
-			side++
-		}
-		g = graph.Grid(side, side, graph.Weight(*maxW), rng)
-	case "internet":
-		g = graph.Internet(*n, graph.Weight(*maxW), rng)
-	case "ring":
-		g = graph.Ring(*n, graph.Weight(*maxW), rng)
-	case "powerlaw":
-		g = graph.BarabasiAlbert(*n, 3, graph.Weight(*maxW), rng)
-	case "community":
-		g = graph.Community(*n, 4, 0.15, 0.01, graph.Weight(*maxW), rng)
-	case "roadgrid":
-		side := 1
-		for side*side < *n {
-			side++
-		}
-		g = graph.RoadGrid(side, side, 0.3, graph.Weight(*maxW), rng)
-	default:
-		fmt.Fprintf(os.Stderr, "pde-query: unknown topology %q\n", *topology)
+	g, err := graph.Generate(*topology, *n, graph.Weight(*maxW), rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pde-query: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -291,6 +297,106 @@ func main() {
 		sum.OracleEntries, float64(sum.OracleBytes)/1024)
 	fmt.Printf("pde-query: served %d queries from the %s path with %d worker(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
 		*queries, path, w, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
+}
+
+// schemeOpts parameterizes a local run against a non-oracle scheme from
+// the unified registry (internal/scheme).
+type schemeOpts struct {
+	scheme, topology string
+	n                int
+	eps              float64
+	maxW             int64
+	h, sigma, k      int
+	sampleProb       float64
+	seed             int64
+	buildWorkers     int
+	workload         string
+	queries, workers int
+	asJSON, legacy   bool
+}
+
+// runScheme builds an rtc or compact instance through the registry and
+// fires the query stream at its serving surface — the same AnswerInto /
+// Route paths the daemon uses for scheme shards.
+func runScheme(opt schemeOpts) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pde-query: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if opt.legacy {
+		fail("-legacy only applies to the oracle scheme's scan-vs-index comparison")
+	}
+	sp := scheme.Spec{
+		Scheme: opt.scheme, Topology: opt.topology, N: opt.n, Eps: opt.eps,
+		MaxW: opt.maxW, H: opt.h, Sigma: opt.sigma, Seed: opt.seed,
+		BuildWorkers: opt.buildWorkers, K: opt.k, SampleProb: opt.sampleProb,
+	}
+	inst, err := scheme.Build(sp)
+	if err != nil {
+		fail("%v", err)
+	}
+	g := inst.Graph()
+	w := opt.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	a := inst.Accounting()
+	sum := summary{
+		Workload: opt.workload, Scheme: inst.Scheme(), Topology: opt.topology,
+		N: g.N(), M: g.M(), Queries: opt.queries, Workers: w,
+		BuildNS:         inst.BuildNS(),
+		BuildFP:         fmt.Sprintf("%016x", inst.Fingerprint()),
+		TableBytes:      a.TableBytes,
+		MaxLabelBits:    a.MaxLabelBits,
+		MeasuredStretch: a.MeasuredStretch,
+		StretchBound:    a.StretchBound,
+	}
+
+	rng := rand.New(rand.NewSource(opt.seed))
+	qs := make([]oracle.Query, opt.queries)
+	for i := range qs {
+		qs[i] = oracle.Query{V: int32(rng.Intn(g.N())), S: int32(rng.Intn(g.N()))}
+	}
+
+	var wall time.Duration
+	switch opt.workload {
+	case "estimate", "nexthop":
+		// Both ride AnswerInto: every answer carries the scheme's distance
+		// estimate and its first forwarding hop.
+		out := make([]oracle.Answer, len(qs))
+		t0 := time.Now()
+		inst.AnswerInto(qs, out, w)
+		wall = time.Since(t0)
+	case "route":
+		t0 := time.Now()
+		for _, q := range qs {
+			if _, err := inst.Route(int(q.V), q.S); err != nil {
+				fail("route %d->%d: %v", q.V, q.S, err)
+			}
+		}
+		wall = time.Since(t0)
+	default:
+		fail("unknown workload %q", opt.workload)
+	}
+	sum.WallNS = wall.Nanoseconds()
+	if wall > 0 {
+		sum.QPS = float64(opt.queries) / wall.Seconds()
+		sum.NSPerQuery = float64(sum.WallNS) / float64(opt.queries)
+	}
+	if opt.asJSON {
+		data, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fail("marshal: %v", err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	fmt.Printf("pde-query: %s/%s/%s n=%d m=%d — built tables in %.1fms (fp %s): %.1f KiB, labels <= %d bits, measured stretch %.3f (bound %.0f)\n",
+		sum.Scheme, opt.workload, opt.topology, g.N(), g.M(),
+		float64(sum.BuildNS)/1e6, sum.BuildFP, float64(a.TableBytes)/1024,
+		a.MaxLabelBits, a.MeasuredStretch, a.StretchBound)
+	fmt.Printf("pde-query: served %d %s queries with %d worker(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
+		opt.queries, opt.workload, w, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
 }
 
 // remoteOpts parameterizes a remote-mode run against a pde-serve daemon.

@@ -1,11 +1,13 @@
-// Command pde-rtc builds Theorem 4.5 routing tables on a generated
-// topology, measures route stretch against ground truth, and reports the
-// construction's round breakdown, label sizes and (with -trees) the
-// Lemma 4.4 tree statistics.
+// Command pde-rtc builds Theorem 4.5 routing tables through the unified
+// scheme registry (internal/scheme, scheme "rtc") and reports the
+// construction's round breakdown, table/label accounting and measured
+// stretch. It is a thin wrapper: everything it prints comes from the same
+// Instance the pde-serve daemon would serve.
 //
 // Usage:
 //
-//	pde-rtc [-n 60] [-k 2] [-eps 0.25] [-p 0.25] [-seed 1] [-trees]
+//	pde-rtc [-topology random] [-n 60] [-k 2] [-eps 0.25] [-maxw 16]
+//	        [-p 0.25] [-seed 1] [-trees]
 package main
 
 import (
@@ -14,58 +16,42 @@ import (
 	"os"
 	"sort"
 
-	"pde"
+	"pde/internal/graph"
+	"pde/internal/scheme"
 )
 
 func main() {
+	topology := flag.String("topology", "random", graph.GeneratorList())
 	n := flag.Int("n", 60, "number of nodes")
 	k := flag.Int("k", 2, "stretch parameter (stretch <= 6k-1)")
 	eps := flag.Float64("eps", 0.25, "PDE slack")
+	maxW := flag.Int64("maxw", 16, "maximum edge weight")
 	prob := flag.Float64("p", 0.25, "skeleton sampling probability (0 = paper's n^{-1/2-1/(4k)})")
 	seed := flag.Int64("seed", 1, "seed")
 	trees := flag.Bool("trees", false, "print Lemma 4.4 tree statistics")
 	flag.Parse()
 
-	g := pde.RandomGraph(*n, 6.0/float64(*n), 16, *seed)
-	sch, err := pde.BuildRoutingScheme(g, pde.RoutingParams{
-		K: *k, Epsilon: *eps, SampleProb: *prob, Seed: *seed,
-	}, pde.Config{Parallel: true})
+	inst, err := scheme.Build(scheme.Spec{
+		Scheme: "rtc", Topology: *topology, N: *n, Eps: *eps, MaxW: *maxW,
+		Seed: *seed, K: *k, SampleProb: *prob,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("graph: n=%d m=%d   skeleton |S|=%d   spanner edges=%d\n",
-		g.N(), g.M(), len(sch.Skeleton), len(sch.Span.Edges))
+	ri := inst.(*scheme.RTCInstance)
+	sch, g := ri.Sch, inst.Graph()
+	fmt.Printf("graph: %s n=%d m=%d   skeleton |S|=%d   spanner edges=%d   fingerprint=%016x\n",
+		*topology, g.N(), g.M(), len(sch.Skeleton), len(sch.Span.Edges), inst.Fingerprint())
 	fmt.Printf("rounds: short-range=%d skeleton=%d spanner=%d tree-labeling=%d total=%d\n",
 		sch.Rounds.ShortRangePDE, sch.Rounds.SkeletonPDE, sch.Rounds.Spanner,
 		sch.Rounds.TreeLabeling, sch.Rounds.Total)
 
-	truth := pde.GroundTruth(g)
-	worst, sum, cnt := 0.0, 0.0, 0
-	maxBits := 0
-	for v := 0; v < g.N(); v++ {
-		if b := sch.LabelBits(v); b > maxBits {
-			maxBits = b
-		}
-		for w := 0; w < g.N(); w++ {
-			if v == w {
-				continue
-			}
-			rt, err := sch.Route(v, sch.Labels[w])
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			s := rt.Stretch(truth.Dist(v, w))
-			sum += s
-			cnt++
-			if s > worst {
-				worst = s
-			}
-		}
-	}
-	fmt.Printf("stretch: max=%.3f mean=%.3f bound(6k-1)=%d\n", worst, sum/float64(cnt), 6**k-1)
-	fmt.Printf("labels: max %d bits (O(log n))\n", maxBits)
+	a := inst.Accounting()
+	fmt.Printf("stretch: max=%.3f mean=%.3f over %d probe routes, bound(6k-1)=%.0f\n",
+		a.MeasuredStretch, a.MeanStretch, a.ProbeRoutes, a.StretchBound)
+	fmt.Printf("tables: %d words (%.1f KiB)   labels: max %d bits, mean %.1f (O(log n))\n",
+		a.Entries, float64(a.TableBytes)/1024, a.MaxLabelBits, a.AvgLabelBits)
 
 	if *trees {
 		depths, perNode := sch.TreeStats()

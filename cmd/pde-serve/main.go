@@ -7,16 +7,21 @@
 // Usage:
 //
 //	pde-serve [-addr :7475]
+//	          [-scheme oracle|rtc|compact]
 //	          [-topology random] [-n 256] [-eps 0.5] [-maxw 16]
 //	          [-h 0] [-sigma 0] [-seed 1] [-build-workers 0]
-//	          [-shards '{"name": {"topology": "...", "n": ..., ...}}']
+//	          [-k 0] [-strategy none] [-l0 0] [-sample-prob 0]
+//	          [-shards '{"name": {"scheme": "...", "topology": "...", ...}}']
 //	          [-max-batch 65536] [-coalesce-limit 16384]
 //	          [-coalesce-wait 0] [-workers 0] [-route-cache 4096]
 //
-// With -shards, the JSON object maps shard names to full specs and the
+// With -shards, the JSON object maps shard names to full specs
+// (internal/scheme.Spec: topology + PDE knobs + scheme selector) and the
 // single-shard convenience flags are ignored; otherwise one shard named
 // "main" is built from the convenience flags (which mirror pde-query's:
-// h = sigma = 0 means full APSP).
+// h = sigma = 0 means full APSP). Every scheme — the compiled oracle,
+// Theorem 4.5 rtc tables, the §4.3 compact hierarchy — serves the same
+// wire protocol; a daemon can hold one shard per scheme side by side.
 //
 // Endpoints, wire formats, and hot-swap semantics are documented in
 // internal/server and the README's Serving section. The daemon exits
@@ -35,12 +40,15 @@ import (
 	"syscall"
 	"time"
 
+	"pde/internal/graph"
+	"pde/internal/scheme"
 	"pde/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":7475", "listen address")
-	topology := flag.String("topology", "random", "random | grid | internet | ring | powerlaw | community | roadgrid")
+	schemeName := flag.String("scheme", "oracle", scheme.List())
+	topology := flag.String("topology", "random", graph.GeneratorList())
 	n := flag.Int("n", 256, "number of nodes")
 	eps := flag.Float64("eps", 0.5, "PDE approximation slack")
 	maxW := flag.Int64("maxw", 16, "maximum edge weight")
@@ -48,6 +56,10 @@ func main() {
 	sigma := flag.Int("sigma", 0, "list size (0 = APSP)")
 	seed := flag.Int64("seed", 1, "graph generator seed")
 	buildWorkers := flag.Int("build-workers", 0, "parallel table-build pool width (0 = GOMAXPROCS)")
+	k := flag.Int("k", 0, "rtc/compact stretch parameter (0 = scheme default)")
+	strategy := flag.String("strategy", "", "compact truncation strategy: none | simulate | broadcast")
+	l0 := flag.Int("l0", 0, "compact truncation level (0 = none)")
+	sampleProb := flag.Float64("sample-prob", 0, "rtc skeleton sampling probability override (0 = paper's)")
 	shardsJSON := flag.String("shards", "", `multi-shard spec: {"name": {"topology": ..., "n": ..., "eps": ..., ...}}`)
 	maxBatch := flag.Int("max-batch", 0, "largest query batch one request may carry (0 = default 65536)")
 	coalesceLimit := flag.Int("coalesce-limit", 0, "point lookups per micro-batch flush (0 = default 16384)")
@@ -68,8 +80,9 @@ func main() {
 		}
 	} else {
 		specs["main"] = server.Spec{
-			Topology: *topology, N: *n, Eps: *eps, MaxW: *maxW,
+			Scheme: *schemeName, Topology: *topology, N: *n, Eps: *eps, MaxW: *maxW,
 			H: *h, Sigma: *sigma, Seed: *seed, BuildWorkers: *buildWorkers,
+			K: *k, Strategy: *strategy, L0: *l0, SampleProb: *sampleProb,
 		}
 	}
 	for name, sp := range specs {

@@ -1,0 +1,231 @@
+package bench
+
+// This file is the scheme-engine companion of query.go: where
+// BENCH_query_*.json tracks how fast the compiled oracle answers,
+// BENCH_scheme_*.json pins the stretch-vs-bytes-vs-qps tradeoff curve of
+// *all three* servable schemes (oracle | rtc | compact) on the same
+// seeded graphs and the same query streams, through the exact
+// AnswerInto/Route surfaces a pde-serve scheme shard uses. One artifact
+// per scheme, same instance underneath: comparing the three files is
+// comparing the schemes.
+//
+// # BENCH_scheme_*.json schema (schema id "pde-scheme/v1")
+//
+//	schema             string  – always "pde-scheme/v1"
+//	name               string  – scenario name (also in the filename)
+//	scheme             string  – oracle | rtc | compact
+//	topology, n, m, seed, params – instance description, as in pde-query/v1
+//	build_ns           int64   – wall clock of the scheme construction
+//	build_rounds       int     – CONGEST round budget the build charged
+//	table_bytes        int64   – total serving-table footprint
+//	entries            int     – tables' natural unit (oracle entries /
+//	                             table words)
+//	max_label_bits     int     – largest destination label
+//	avg_label_bits     float64 – mean destination label
+//	stretch_bound      float64 – the paper's guarantee (1+ε / 6k−1 / 4k−3)
+//	measured_stretch   float64 – worst stretch over the probe routes
+//	mean_stretch       float64 – mean stretch over the probe routes
+//	probe_routes       int     – routes in the measured-stretch sample
+//	queries            int     – estimate queries fired (seeded uniform
+//	                             random stream, shared across the schemes
+//	                             built on the same graph)
+//	estimate_wall_ns   int64   – wall clock of the AnswerInto pass
+//	estimate_qps       float64 – queries/sec of that pass
+//	ns_per_query       float64
+//	route_pairs        int     – full route expansions fired
+//	routes_per_sec     float64
+//	answers_ok         int     – estimate answers with OK=true
+//	fingerprint        string  – FNV-1a digest over every estimate answer
+//	                             and every route (weight, hops); fully
+//	                             deterministic, guarded by pde-bench -check
+//	gomaxprocs         int     – scheduler width the run observed
+//
+// Wall-clock and throughput fields are machine-dependent; the -check
+// regression guard compares only the deterministic fields (fingerprint,
+// n, m, seed, queries).
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"pde/internal/oracle"
+	"pde/internal/scheme"
+)
+
+// SchemeSchemaID identifies the scheme-sweep report format.
+const SchemeSchemaID = "pde-scheme/v1"
+
+// SchemeScenario is one cell of the scheme benchmark matrix.
+type SchemeScenario struct {
+	// Name must start with "scheme_" so the artifact is
+	// BENCH_scheme_*.json.
+	Name  string
+	Quick bool
+	// Spec is the full build recipe; scenarios comparing schemes share
+	// Topology/N/MaxW/Seed so they run on the identical graph.
+	Spec scheme.Spec
+	// Queries is the estimate-stream length; RoutePairs the number of
+	// full route expansions.
+	Queries    int
+	RoutePairs int
+}
+
+// SchemeReport is the BENCH_scheme_*.json payload. See the schema
+// comment.
+type SchemeReport struct {
+	Schema          string             `json:"schema"`
+	Name            string             `json:"name"`
+	Scheme          string             `json:"scheme"`
+	Topology        string             `json:"topology"`
+	N               int                `json:"n"`
+	M               int                `json:"m"`
+	Seed            int64              `json:"seed"`
+	Params          map[string]float64 `json:"params,omitempty"`
+	BuildNS         int64              `json:"build_ns"`
+	BuildRounds     int                `json:"build_rounds"`
+	TableBytes      int64              `json:"table_bytes"`
+	Entries         int                `json:"entries"`
+	MaxLabelBits    int                `json:"max_label_bits"`
+	AvgLabelBits    float64            `json:"avg_label_bits"`
+	StretchBound    float64            `json:"stretch_bound"`
+	MeasuredStretch float64            `json:"measured_stretch"`
+	MeanStretch     float64            `json:"mean_stretch"`
+	ProbeRoutes     int                `json:"probe_routes"`
+	Queries         int                `json:"queries"`
+	EstimateWallNS  int64              `json:"estimate_wall_ns"`
+	EstimateQPS     float64            `json:"estimate_qps"`
+	NSPerQuery      float64            `json:"ns_per_query"`
+	RoutePairs      int                `json:"route_pairs"`
+	RoutesPerSec    float64            `json:"routes_per_sec"`
+	AnswersOK       int                `json:"answers_ok"`
+	Fingerprint     string             `json:"fingerprint"`
+	GoMaxProcs      int                `json:"gomaxprocs"`
+}
+
+// Filename returns the artifact name for this report.
+func (r *SchemeReport) Filename() string { return "BENCH_" + r.Name + ".json" }
+
+// JSON marshals the report, indented for human diffing.
+func (r *SchemeReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// RunSchemeScenario builds the scenario's scheme through the registry and
+// drives the shared seeded query stream through its serving surface,
+// digesting every answer and route into the report fingerprint. The
+// stream depends only on (n, Seed, Queries), so scheme scenarios on the
+// same graph answer the identical stream.
+func RunSchemeScenario(s SchemeScenario) (*SchemeReport, error) {
+	inst, err := scheme.Build(s.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", s.Name, err)
+	}
+	g := inst.Graph()
+	sp := inst.Spec()
+	a := inst.Accounting()
+	rep := &SchemeReport{
+		Schema:          SchemeSchemaID,
+		Name:            s.Name,
+		Scheme:          inst.Scheme(),
+		Topology:        sp.Topology,
+		N:               g.N(),
+		M:               g.M(),
+		Seed:            sp.Seed,
+		BuildNS:         inst.BuildNS(),
+		BuildRounds:     a.BuildRounds,
+		TableBytes:      a.TableBytes,
+		Entries:         a.Entries,
+		MaxLabelBits:    a.MaxLabelBits,
+		AvgLabelBits:    a.AvgLabelBits,
+		StretchBound:    a.StretchBound,
+		MeasuredStretch: a.MeasuredStretch,
+		MeanStretch:     a.MeanStretch,
+		ProbeRoutes:     a.ProbeRoutes,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+	}
+	rep.Params = map[string]float64{"eps": sp.Eps, "maxw": float64(sp.MaxW)}
+	if sp.Scheme != "oracle" {
+		rep.Params["k"] = float64(sp.K)
+	}
+	if sp.SampleProb > 0 {
+		rep.Params["sample_prob"] = sp.SampleProb
+	}
+
+	queries := s.Queries
+	if queries <= 0 {
+		queries = 20000
+	}
+	pairs := s.RoutePairs
+	if pairs <= 0 {
+		pairs = 1024
+	}
+	rep.Queries = queries
+	rep.RoutePairs = pairs
+
+	// The shared stream: seeded by the graph recipe only, so every scheme
+	// built on this (topology, n, seed) serves the same queries.
+	qrng := rng(sp.Seed + 4242)
+	qs := make([]oracle.Query, queries)
+	for i := range qs {
+		qs[i] = oracle.Query{V: int32(qrng.Intn(g.N())), S: int32(qrng.Intn(g.N()))}
+	}
+	out := make([]oracle.Answer, len(qs))
+	t0 := time.Now()
+	inst.AnswerInto(qs, out, runtime.GOMAXPROCS(0))
+	wall := time.Since(t0)
+	rep.EstimateWallNS = wall.Nanoseconds()
+	rep.EstimateQPS = qps(queries, wall)
+	rep.NSPerQuery = float64(rep.EstimateWallNS) / float64(queries)
+
+	fph := newFP()
+	for _, ans := range out {
+		fph.F64(ans.Est.Dist)
+		fph.I64(int64(ans.Est.Via))
+		if ans.OK {
+			rep.AnswersOK++
+			fph.I64(1)
+		} else {
+			fph.I64(0)
+		}
+	}
+
+	// Route expansions: uniform pairs on the same stream seed. Every
+	// scheme guarantees delivery for full-table instances (oracle runs
+	// APSP here; rtc/compact always deliver), so a route error fails the
+	// scenario.
+	prng := rng(sp.Seed + 515)
+	t0 = time.Now()
+	for i := 0; i < pairs; i++ {
+		v, s2 := prng.Intn(g.N()), int32(prng.Intn(g.N()))
+		rt, err := inst.Route(v, s2)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: route %d->%d: %w", s.Name, v, s2, err)
+		}
+		fph.I64(rt.Weight)
+		fph.I64(int64(len(rt.Path)))
+	}
+	routeWall := time.Since(t0)
+	rep.RoutesPerSec = qps(pairs, routeWall)
+	rep.Fingerprint = fmt.Sprintf("%016x", fph.Sum())
+	return rep, nil
+}
+
+// SchemeScenarios returns the scheme benchmark matrix: the three backends
+// on the identical seeded random graph and identical query streams, so
+// the committed artifacts pin the cross-scheme tradeoff curve every PR.
+func SchemeScenarios() []SchemeScenario {
+	base := scheme.Spec{Topology: "random", N: 64, Eps: 0.5, MaxW: 8, Seed: 21}
+	oracleSpec := base
+	rtcSpec := base
+	rtcSpec.Scheme = "rtc"
+	rtcSpec.K = 2
+	rtcSpec.SampleProb = 0.25
+	compactSpec := base
+	compactSpec.Scheme = "compact"
+	compactSpec.K = 3
+	return []SchemeScenario{
+		{Name: "scheme_oracle-random-n64", Quick: true, Spec: oracleSpec, Queries: 30000, RoutePairs: 2000},
+		{Name: "scheme_rtc-random-n64-k2", Quick: true, Spec: rtcSpec, Queries: 30000, RoutePairs: 2000},
+		{Name: "scheme_compact-random-n64-k3", Quick: true, Spec: compactSpec, Queries: 30000, RoutePairs: 2000},
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pde/internal/scheme"
+)
+
+func tinySchemeScenario(name, schemeName string) SchemeScenario {
+	sp := scheme.Spec{Topology: "random", N: 24, Eps: 0.5, MaxW: 6, Seed: 9}
+	switch schemeName {
+	case "rtc":
+		sp.Scheme = "rtc"
+		sp.K = 2
+		sp.SampleProb = 0.3
+	case "compact":
+		sp.Scheme = "compact"
+		sp.K = 2
+	}
+	return SchemeScenario{Name: name, Spec: sp, Queries: 800, RoutePairs: 100}
+}
+
+// TestRunSchemeScenarioAllBackends runs a tiny cell per backend and
+// checks the report carries the full tradeoff sheet.
+func TestRunSchemeScenarioAllBackends(t *testing.T) {
+	for _, backend := range []string{"oracle", "rtc", "compact"} {
+		rep, err := RunSchemeScenario(tinySchemeScenario("scheme_test-"+backend, backend))
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if rep.Schema != SchemeSchemaID {
+			t.Errorf("%s: schema %q", backend, rep.Schema)
+		}
+		if rep.Scheme != backend {
+			t.Errorf("%s: report names scheme %q", backend, rep.Scheme)
+		}
+		if rep.TableBytes <= 0 || rep.MaxLabelBits <= 0 || rep.ProbeRoutes <= 0 {
+			t.Errorf("%s: missing accounting: %+v", backend, rep)
+		}
+		if rep.MeasuredStretch < 1 || rep.MeasuredStretch > rep.StretchBound+0.5 {
+			t.Errorf("%s: measured stretch %.3f vs bound %.1f", backend, rep.MeasuredStretch, rep.StretchBound)
+		}
+		if rep.Queries != 800 || rep.RoutePairs != 100 {
+			t.Errorf("%s: stream sizes drifted: %+v", backend, rep)
+		}
+		if rep.AnswersOK == 0 || rep.Fingerprint == "" {
+			t.Errorf("%s: empty answer digest: %+v", backend, rep)
+		}
+		if _, err := rep.JSON(); err != nil {
+			t.Errorf("%s: marshal: %v", backend, err)
+		}
+	}
+}
+
+// TestSchemeScenarioDeterministicFingerprint reruns one cell and demands
+// the digest the -check guard compares is stable.
+func TestSchemeScenarioDeterministicFingerprint(t *testing.T) {
+	s := tinySchemeScenario("scheme_test-rtc", "rtc")
+	a, err := RunSchemeScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSchemeScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprint drifted between runs: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.MeasuredStretch != b.MeasuredStretch || a.TableBytes != b.TableBytes {
+		t.Fatalf("accounting drifted between runs")
+	}
+}
+
+// TestSchemeScenariosShareGraphAndStream pins the matrix invariant the
+// schema promises: all committed scheme cells run on the same seeded
+// graph and answer the same stream.
+func TestSchemeScenariosShareGraphAndStream(t *testing.T) {
+	cells := SchemeScenarios()
+	if len(cells) < 3 {
+		t.Fatalf("expected >= 3 scheme cells, got %d", len(cells))
+	}
+	first := cells[0].Spec
+	seen := map[string]bool{}
+	for _, c := range cells {
+		sp := c.Spec.Normalized()
+		seen[sp.Scheme] = true
+		if sp.Topology != first.Topology || sp.N != first.N || sp.Seed != first.Seed || sp.MaxW != first.MaxW {
+			t.Errorf("cell %s is not on the shared graph: %+v", c.Name, sp)
+		}
+		if c.Queries != cells[0].Queries || c.RoutePairs != cells[0].RoutePairs {
+			t.Errorf("cell %s does not share the stream sizes", c.Name)
+		}
+		if !c.Quick {
+			t.Errorf("cell %s must be quick: the cross-scheme curve is a CI artifact", c.Name)
+		}
+		var rep SchemeReport
+		data, _ := json.Marshal(SchemeReport{Schema: SchemeSchemaID})
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"oracle", "rtc", "compact"} {
+		if !seen[want] {
+			t.Errorf("matrix is missing scheme %q", want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"pde/internal/congest"
 	"pde/internal/core"
+	"pde/internal/fingerprint"
 	"pde/internal/graph"
 	"pde/internal/oracle"
 	"pde/internal/treelabel"
@@ -277,6 +278,49 @@ func Build(g *graph.Graph, p Params, cfg congest.Config) (*Scheme, error) {
 	sch.Rounds.Total = sch.Rounds.DirectLevels + sch.Rounds.SkeletonPDE +
 		sch.Rounds.TruncatedSim + sch.Rounds.TreeLabeling
 	return sch, nil
+}
+
+// Fingerprint digests everything the hierarchy serves queries from: every
+// level's PDE result, the skeleton instance, the level sets, the pivots
+// and every label (including the simulated-level distance tables via the
+// pivot distances derived from them). Two builds from the same
+// (graph, Params) must produce equal fingerprints; the serving layer uses
+// this as the scheme's table generation id.
+func (sch *Scheme) Fingerprint() uint64 {
+	f := fingerprint.New()
+	f.I64(int64(sch.K))
+	f.F64(sch.Eps)
+	f.I64(int64(sch.L0))
+	f.I64(int64(sch.Strategy))
+	for l := 0; l < sch.K; l++ {
+		if sch.R[l] != nil {
+			f.U64(sch.R[l].Fingerprint())
+		}
+		for _, s := range sch.Levels[l] {
+			f.I64(int64(s))
+		}
+	}
+	if sch.SkelR != nil {
+		f.U64(sch.SkelR.Fingerprint())
+	}
+	for l := 1; l < sch.K; l++ {
+		for v := range sch.Pivot[l] {
+			f.I64(int64(sch.Pivot[l][v]))
+			f.F64(sch.PivotDist[l][v])
+			f.I64(int64(sch.BunchSize[l][v]))
+		}
+	}
+	for v := range sch.Labels {
+		l := &sch.Labels[v]
+		f.I64(int64(l.Node))
+		for i := range l.Per {
+			f.I64(int64(l.Per[i].Skel))
+			f.F64(l.Per[i].Dist)
+			f.I64(int64(l.Per[i].Tree.Pre))
+			f.I64(int64(l.Per[i].Tree.Size))
+		}
+	}
+	return f.Sum()
 }
 
 // overlayCfg derives the engine config for PDE instances simulated on

@@ -79,6 +79,21 @@ func (sch *Scheme) NextHop(x int, dst Label, level int, target int32) (int, erro
 	return 0, fmt.Errorf("compact: node %d lost level-0 route to %d", x, w)
 }
 
+// FirstHop selects the routing level for a fresh packet at v — exactly
+// the origin decision Route makes — and returns the first forwarding hop.
+// It is the stateless per-query face of the hierarchy for serving layers
+// that answer next-hop queries without expanding the whole route.
+func (sch *Scheme) FirstHop(v int, dst Label) (int, error) {
+	if v == int(dst.Node) {
+		return v, nil
+	}
+	level, target, err := sch.selectLevel(v, dst)
+	if err != nil {
+		return 0, err
+	}
+	return sch.NextHop(v, dst, level, target)
+}
+
 // Route delivers a packet from v to the node labeled dst.
 func (sch *Scheme) Route(v int, dst Label) (*Route, error) {
 	level, target, err := sch.selectLevel(v, dst)

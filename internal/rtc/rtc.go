@@ -34,6 +34,7 @@ import (
 
 	"pde/internal/congest"
 	"pde/internal/core"
+	"pde/internal/fingerprint"
 	"pde/internal/graph"
 	"pde/internal/oracle"
 	"pde/internal/spanner"
@@ -384,6 +385,36 @@ func (sch *Scheme) buildTreesAndLabels() error {
 		sch.Labels[v].Tree = tl
 	}
 	return nil
+}
+
+// Fingerprint digests everything the scheme serves queries from: both PDE
+// results, the skeleton, the spanner edge set and every label. Two builds
+// from the same (graph, Params) must produce equal fingerprints — the
+// regression tests and the serving layer treat this as the scheme's table
+// generation id, exactly like core.Result.Fingerprint for oracle shards.
+func (sch *Scheme) Fingerprint() uint64 {
+	f := fingerprint.New()
+	f.U64(sch.A.Fingerprint())
+	f.U64(sch.B.Fingerprint())
+	f.I64(int64(sch.K))
+	f.F64(sch.Eps)
+	for _, s := range sch.Skeleton {
+		f.I64(int64(s))
+	}
+	for _, e := range sch.Span.Edges {
+		f.I64(int64(e.U))
+		f.I64(int64(e.V))
+		f.I64(int64(e.W))
+	}
+	for v := range sch.Labels {
+		l := &sch.Labels[v]
+		f.I64(int64(l.Node))
+		f.I64(int64(l.Skel))
+		f.F64(l.DistToSkel)
+		f.I64(int64(l.Tree.Pre))
+		f.I64(int64(l.Tree.Size))
+	}
+	return f.Sum()
 }
 
 // TreeStats reports the Lemma 4.4 quantities: per-tree depth and the

@@ -1,0 +1,160 @@
+package scheme
+
+import (
+	"math"
+
+	"pde/internal/compact"
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+)
+
+func init() {
+	Register("compact", buildCompact)
+}
+
+// compactC matches the C the pde-compact CLI and experiment tables have
+// always used.
+const compactC = 1.5
+
+// CompactParams derives the §4.3 hierarchy parameters from a serving
+// spec. Exported so the differential tests can build the legacy
+// in-process scheme from exactly the recipe the backend uses.
+func CompactParams(sp Spec) compact.Params {
+	sp = sp.Normalized()
+	strat := compact.StrategyNone
+	switch sp.Strategy {
+	case "simulate":
+		strat = compact.StrategySimulate
+	case "broadcast":
+		strat = compact.StrategyBroadcast
+	}
+	return compact.Params{
+		K:          sp.K,
+		Epsilon:    sp.Eps,
+		C:          compactC,
+		L0:         sp.L0,
+		Strategy:   strat,
+		SampleBase: sp.SampleProb,
+		Seed:       sp.Seed,
+	}
+}
+
+// CompactInstance serves the Thorup–Zwick hierarchy: per-level bunches
+// and pivots, with optional Lemma 4.12 truncation onto the skeleton
+// overlay.
+type CompactInstance struct {
+	Sp  Spec
+	Gr  *graph.Graph
+	Sch *compact.Scheme
+
+	buildNS int64
+	fp      uint64
+	acct    Accounting
+}
+
+func buildCompact(sp Spec) (Instance, error) {
+	g, err := sp.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	var sch *compact.Scheme
+	buildNS, err := buildCost(func() error {
+		var berr error
+		sch, berr = compact.Build(g, CompactParams(sp), congest.Config{Parallel: true, Workers: sp.BuildWorkers})
+		return berr
+	})
+	if err != nil {
+		return nil, err
+	}
+	in := &CompactInstance{Sp: sp, Gr: g, Sch: sch, buildNS: buildNS, fp: sch.Fingerprint()}
+	maxS, meanS, routes, err := measureStretch(g, sp.Seed, in.Route, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	maxDist := 0.0
+	for _, l := range sch.Labels {
+		for _, per := range l.Per {
+			if per.Dist > maxDist && !math.IsInf(per.Dist, 1) {
+				maxDist = per.Dist
+			}
+		}
+	}
+	maxBits, sumBits, words := 0, 0, 0
+	for v := 0; v < n; v++ {
+		b := sch.Labels[v].Bits(n, maxDist)
+		sumBits += b
+		if b > maxBits {
+			maxBits = b
+		}
+		words += sch.TableWords(v)
+	}
+	words += sch.SharedWords()
+	in.acct = Accounting{
+		Scheme:          "compact",
+		TableBytes:      8 * int64(words),
+		Entries:         words,
+		MaxLabelBits:    maxBits,
+		AvgLabelBits:    float64(sumBits) / float64(n),
+		StretchBound:    float64(4*sp.K - 3),
+		MeasuredStretch: maxS,
+		MeanStretch:     meanS,
+		ProbeRoutes:     routes,
+		BuildRounds:     sch.Rounds.Total,
+	}
+	return in, nil
+}
+
+func (in *CompactInstance) Scheme() string         { return "compact" }
+func (in *CompactInstance) Spec() Spec             { return in.Sp }
+func (in *CompactInstance) Graph() *graph.Graph    { return in.Gr }
+func (in *CompactInstance) Fingerprint() uint64    { return in.fp }
+func (in *CompactInstance) BuildNS() int64         { return in.buildNS }
+func (in *CompactInstance) Accounting() Accounting { return in.acct }
+
+// answer mirrors the rtc contract: Dist from the §2.4 local-table
+// estimate, Via from the origin's level selection and first hop.
+// Out-of-range ids answer as misses, like the oracle backend: the server
+// validates at ingress against one snapshot but may flush against a
+// hot-swapped, smaller one, and a serving path must never panic on that
+// race.
+func (in *CompactInstance) answer(q oracle.Query) oracle.Answer {
+	v := int(q.V)
+	if n := int32(in.Gr.N()); q.V < 0 || q.V >= n || q.S < 0 || q.S >= n {
+		return oracle.Answer{}
+	}
+	dst := in.Sch.Labels[q.S]
+	d, err := in.Sch.DistEstimate(v, dst)
+	if err != nil {
+		// Misses answer with the zero Estimate, like the oracle backend:
+		// only the OK flag is contract, and +Inf would not survive the
+		// JSON wire encoding.
+		return oracle.Answer{}
+	}
+	via := int32(-1)
+	if next, herr := in.Sch.FirstHop(v, dst); herr == nil {
+		via = int32(next)
+	}
+	return oracle.Answer{Est: core.Estimate{Dist: d, Src: q.S, Via: via}, OK: true}
+}
+
+// AnswerInto fans the batch across workers; answers read only immutable
+// tables, so the result is identical at any width.
+func (in *CompactInstance) AnswerInto(qs []oracle.Query, out []oracle.Answer, workers int) {
+	fanOut(len(qs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = in.answer(qs[i])
+		}
+	})
+}
+
+// Route delivers a packet from v to s through the hierarchy.
+func (in *CompactInstance) Route(v int, s int32) (*core.Route, error) {
+	rt, err := in.Sch.Route(v, in.Sch.Labels[s])
+	if err != nil {
+		return nil, err
+	}
+	return &core.Route{Path: rt.Path, Weight: rt.Weight}, nil
+}

@@ -1,0 +1,115 @@
+package scheme
+
+import (
+	"fmt"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+)
+
+func init() {
+	Register("oracle", buildOracle)
+}
+
+// OracleInstance is the compiled-CSR backend: the exact serving path the
+// daemon had before the registry existed, byte-for-byte. Its answers and
+// fingerprint are those of the underlying core.Result, so pre-registry
+// shards and post-registry oracle shards are indistinguishable on the
+// wire.
+type OracleInstance struct {
+	Sp  Spec
+	Gr  *graph.Graph
+	Res *core.Result
+	O   *oracle.Oracle
+	Rtr *core.Router
+
+	buildNS int64
+	acct    Accounting
+}
+
+func buildOracle(sp Spec) (Instance, error) {
+	g, err := sp.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	buildNS, err := buildCost(func() error {
+		var rerr error
+		res, rerr = core.Run(g, sp.Params(g.N()), congest.Config{Parallel: true, Workers: sp.BuildWorkers})
+		if rerr != nil {
+			return fmt.Errorf("pde build: %w", rerr)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewOracleInstance(sp, g, res, buildNS)
+}
+
+// NewOracleInstance compiles an already-built PDE result into a serving
+// instance — the prebuilt path for callers (bench, tests) that paid for
+// the construction elsewhere.
+func NewOracleInstance(sp Spec, g *graph.Graph, res *core.Result, buildNS int64) (*OracleInstance, error) {
+	sp = sp.Normalized()
+	if sp.Scheme != "oracle" {
+		return nil, fmt.Errorf("prebuilt tables are oracle tables, spec says scheme %q", sp.Scheme)
+	}
+	o := oracle.Compile(res)
+	in := &OracleInstance{
+		Sp:      sp,
+		Gr:      g,
+		Res:     res,
+		O:       o,
+		Rtr:     core.NewRouterWith(g, res, o),
+		buildNS: buildNS,
+	}
+	maxS, meanS, routes, err := measureStretch(g, sp.Seed, in.Route, func(v int) []int32 {
+		// Only list members are guaranteed routable (Corollary 3.5);
+		// partial sweeps leave most uniform pairs without an entry.
+		srcs := make([]int32, 0, len(res.Lists[v]))
+		for _, e := range res.Lists[v] {
+			srcs = append(srcs, e.Src)
+		}
+		return srcs
+	})
+	if err != nil {
+		return nil, err
+	}
+	idBits := graph.IDBits(g.N())
+	in.acct = Accounting{
+		Scheme:          "oracle",
+		TableBytes:      o.Bytes(),
+		Entries:         o.Entries(),
+		MaxLabelBits:    idBits,
+		AvgLabelBits:    float64(idBits),
+		StretchBound:    1 + sp.Eps,
+		MeasuredStretch: maxS,
+		MeanStretch:     meanS,
+		ProbeRoutes:     routes,
+		BuildRounds:     res.BudgetRounds,
+	}
+	return in, nil
+}
+
+func (in *OracleInstance) Scheme() string      { return "oracle" }
+func (in *OracleInstance) Spec() Spec          { return in.Sp }
+func (in *OracleInstance) Graph() *graph.Graph { return in.Gr }
+func (in *OracleInstance) Fingerprint() uint64 { return in.Res.Fingerprint() }
+func (in *OracleInstance) BuildNS() int64      { return in.buildNS }
+func (in *OracleInstance) Accounting() Accounting {
+	return in.acct
+}
+
+// AnswerInto delegates to the compiled oracle's batch path — the same
+// indexed lookup the in-process benchmarks measure.
+func (in *OracleInstance) AnswerInto(qs []oracle.Query, out []oracle.Answer, workers int) {
+	in.O.AnswerInto(qs, out, workers)
+}
+
+// Route expands the stretch-(1+ε) PDE route from v to s.
+func (in *OracleInstance) Route(v int, s int32) (*core.Route, error) {
+	return in.Rtr.Route(v, s)
+}

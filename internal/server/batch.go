@@ -106,14 +106,14 @@ func (b *batcher) flush(batch []*job, total int) {
 	sh := b.sl.load()
 	if len(batch) == 1 {
 		// The common single-request flush answers in place, no copying.
-		sh.o.AnswerInto(batch[0].qs, batch[0].out, b.workers)
+		sh.inst.AnswerInto(batch[0].qs, batch[0].out, b.workers)
 	} else {
 		qs := make([]oracle.Query, 0, total)
 		for _, j := range batch {
 			qs = append(qs, j.qs...)
 		}
 		out := make([]oracle.Answer, total)
-		sh.o.AnswerInto(qs, out, b.workers)
+		sh.inst.AnswerInto(qs, out, b.workers)
 		off := 0
 		for _, j := range batch {
 			copy(j.out, out[off:off+len(j.qs)])

@@ -1,10 +1,14 @@
 // Package server is the network face of the repository: a long-lived,
-// sharded distance-query daemon over the compiled oracle
-// (internal/oracle). Each named shard is an independently built scenario
-// (topology + PDE parameters) compiled into its own immutable oracle;
-// queries against a shard are coalesced into micro-batches and served by
-// oracle.AnswerInto, so the daemon's hot path is the same indexed lookup
-// the in-process benchmarks measure.
+// sharded distance-query daemon over the unified scheme engine
+// (internal/scheme). Each named shard is an independently built scenario
+// (topology + PDE parameters + scheme: oracle | rtc | compact) compiled
+// into its own immutable instance; queries against a shard are coalesced
+// into micro-batches and served by the instance's batch path — for
+// oracle shards that is the same oracle.AnswerInto indexed lookup the
+// in-process benchmarks measure, for rtc and compact it is the scheme's
+// stateless per-query forwarding/estimation functions. The wire
+// protocol, hot-swap semantics, coalescing, route LRU and binary codec
+// are identical for every backend.
 //
 // Hot swaps: a shard's tables live behind an atomic pointer. The admin
 // /v1/rebuild endpoint constructs a complete replacement off to the side
@@ -48,6 +52,7 @@ import (
 	"pde/internal/core"
 	"pde/internal/graph"
 	"pde/internal/oracle"
+	"pde/internal/scheme"
 )
 
 // Config tunes the serving layer. The zero value gets sensible defaults.
@@ -120,7 +125,11 @@ func New(specs map[string]Spec, cfg Config) (*Server, error) {
 func NewWithPrebuilt(cfg Config, shards ...Prebuilt) (*Server, error) {
 	built := make([]namedShard, 0, len(shards))
 	for _, p := range shards {
-		built = append(built, namedShard{name: p.Name, sh: newShard(p.Spec, p.G, p.Res, p.BuildNS)})
+		sh, err := newShard(p.Spec, p.G, p.Res, p.BuildNS)
+		if err != nil {
+			return nil, fmt.Errorf("shard %q: %w", p.Name, err)
+		}
+		built = append(built, namedShard{name: p.Name, sh: sh})
 	}
 	return assemble(cfg, built)
 }
@@ -484,7 +493,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		sl.stats.cacheMisses.Add(1)
-		rt, err := sh.router.Route(int(p.From), p.To)
+		rt, err := sh.inst.Route(int(p.From), p.To)
 		if err != nil {
 			resp.Routes[i] = WireRoute{OK: false, Error: err.Error()}
 			continue
@@ -502,6 +511,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 // with a fresh topology).
 type RebuildRequest struct {
 	Shard        string   `json:"shard"`
+	Scheme       *string  `json:"scheme,omitempty"`
 	Topology     *string  `json:"topology,omitempty"`
 	N            *int     `json:"n,omitempty"`
 	Eps          *float64 `json:"eps,omitempty"`
@@ -510,6 +520,10 @@ type RebuildRequest struct {
 	Sigma        *int     `json:"sigma,omitempty"`
 	Seed         *int64   `json:"seed,omitempty"`
 	BuildWorkers *int     `json:"build_workers,omitempty"`
+	K            *int     `json:"k,omitempty"`
+	Strategy     *string  `json:"strategy,omitempty"`
+	L0           *int     `json:"l0,omitempty"`
+	SampleProb   *float64 `json:"sample_prob,omitempty"`
 }
 
 type RebuildResponse struct {
@@ -543,6 +557,9 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	defer sl.buildMu.Unlock()
 
 	spec := sl.load().spec
+	if req.Scheme != nil {
+		spec.Scheme = *req.Scheme
+	}
 	if req.Topology != nil {
 		spec.Topology = *req.Topology
 	}
@@ -566,6 +583,18 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.BuildWorkers != nil {
 		spec.BuildWorkers = *req.BuildWorkers
+	}
+	if req.K != nil {
+		spec.K = *req.K
+	}
+	if req.Strategy != nil {
+		spec.Strategy = *req.Strategy
+	}
+	if req.L0 != nil {
+		spec.L0 = *req.L0
+	}
+	if req.SampleProb != nil {
+		spec.SampleProb = *req.SampleProb
 	}
 	if err := spec.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid spec: %v", err)
@@ -620,19 +649,26 @@ type QueryCounts struct {
 }
 
 type ShardStatus struct {
-	Spec           Spec        `json:"spec"`
-	N              int         `json:"n"`
-	M              int         `json:"m"`
-	Fingerprint    string      `json:"fingerprint"`
-	Builds         int64       `json:"builds"`
-	LastSwapUnixNS int64       `json:"last_swap_unix_ns"`
-	BuildNS        int64       `json:"build_ns"`
-	OracleEntries  int         `json:"oracle_entries"`
-	OracleBytes    int64       `json:"oracle_bytes"`
-	Queries        QueryCounts `json:"queries"`
-	QPS            float64     `json:"qps"`
-	Batches        BatchStats  `json:"batches"`
-	RouteCache     CacheStats  `json:"route_cache"`
+	Spec   Spec   `json:"spec"`
+	Scheme string `json:"scheme"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// Accounting is the per-scheme cost sheet: table bytes, label bits,
+	// measured stretch, build rounds.
+	Accounting     scheme.Accounting `json:"accounting"`
+	Fingerprint    string            `json:"fingerprint"`
+	Builds         int64             `json:"builds"`
+	LastSwapUnixNS int64             `json:"last_swap_unix_ns"`
+	BuildNS        int64             `json:"build_ns"`
+	// OracleEntries / OracleBytes predate the scheme registry and mirror
+	// Accounting.Entries / Accounting.TableBytes for every backend; kept
+	// so pre-registry stats consumers keep working.
+	OracleEntries int         `json:"oracle_entries"`
+	OracleBytes   int64       `json:"oracle_bytes"`
+	Queries       QueryCounts `json:"queries"`
+	QPS           float64     `json:"qps"`
+	Batches       BatchStats  `json:"batches"`
+	RouteCache    CacheStats  `json:"route_cache"`
 }
 
 type StatsResponse struct {
@@ -674,16 +710,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if lookups := cs.Hits + cs.Misses; lookups > 0 {
 			cs.HitRate = float64(cs.Hits) / float64(lookups)
 		}
+		acct := sh.inst.Accounting()
 		status := ShardStatus{
 			Spec:           sh.spec,
+			Scheme:         sh.inst.Scheme(),
 			N:              sh.g.N(),
 			M:              sh.g.M(),
+			Accounting:     acct,
 			Fingerprint:    sh.fp,
 			Builds:         st.builds.Load(),
 			LastSwapUnixNS: st.lastSwapUnixNS.Load(),
 			BuildNS:        sh.buildNS,
-			OracleEntries:  sh.o.Entries(),
-			OracleBytes:    sh.o.Bytes(),
+			OracleEntries:  acct.Entries,
+			OracleBytes:    acct.TableBytes,
 			Queries:        qc,
 			Batches:        bs,
 			RouteCache:     cs,

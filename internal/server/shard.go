@@ -2,160 +2,77 @@ package server
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"pde/internal/congest"
 	"pde/internal/core"
 	"pde/internal/graph"
 	"pde/internal/oracle"
+	"pde/internal/scheme"
 )
 
-// Spec describes everything needed to (re)build one shard: the scenario
-// topology and the PDE parameters. It is the JSON body of /v1/rebuild
-// overrides and appears verbatim in /v1/stats, so a shard's tables are
-// always reproducible from what the daemon reports.
-type Spec struct {
-	// Topology is one of the generator families the CLIs accept:
-	// random | grid | internet | ring | powerlaw | community | roadgrid.
-	Topology string `json:"topology"`
-	// N is the requested node count. Grid-shaped topologies round it up
-	// to the next perfect square; the shard reports the actual size.
-	N int `json:"n"`
-	// Eps is the PDE approximation slack ε > 0.
-	Eps float64 `json:"eps"`
-	// MaxW is the maximum edge weight.
-	MaxW int64 `json:"maxw"`
-	// H and Sigma are the partial-sweep hop bound and list size; both 0
-	// means full APSP (S = V, h = σ = n). Partial sweeps mark every third
-	// node a source, matching pde-query.
-	H     int `json:"h"`
-	Sigma int `json:"sigma"`
-	// Seed drives the graph generator.
-	Seed int64 `json:"seed"`
-	// BuildWorkers is the parallel table-build pool width (0 = GOMAXPROCS).
-	BuildWorkers int `json:"build_workers,omitempty"`
-}
+// Spec is the scheme engine's build recipe (see internal/scheme.Spec):
+// topology + PDE parameters + the scheme selector (oracle | rtc |
+// compact) and its knobs (k, strategy, ...). It is the JSON body of
+// shard specs and /v1/rebuild overrides and appears verbatim in
+// /v1/stats, so a shard's tables are always reproducible from what the
+// daemon reports — for every backend, not just oracle.
+type Spec = scheme.Spec
 
-// Validate rejects specs the generators cannot build.
-func (sp Spec) Validate() error {
-	switch sp.Topology {
-	case "random", "grid", "internet", "ring", "powerlaw", "community", "roadgrid":
-	default:
-		return fmt.Errorf("unknown topology %q", sp.Topology)
-	}
-	if sp.N < 2 {
-		return fmt.Errorf("n must be >= 2, got %d", sp.N)
-	}
-	if sp.Eps <= 0 {
-		return fmt.Errorf("eps must be > 0, got %g", sp.Eps)
-	}
-	if sp.MaxW < 1 {
-		return fmt.Errorf("maxw must be >= 1, got %d", sp.MaxW)
-	}
-	if sp.H < 0 || sp.Sigma < 0 {
-		return fmt.Errorf("h and sigma must be >= 0, got h=%d sigma=%d", sp.H, sp.Sigma)
-	}
-	return nil
-}
-
-// BuildGraph generates the spec's topology, deterministic in Seed.
-func (sp Spec) BuildGraph() (*graph.Graph, error) {
-	if err := sp.Validate(); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(sp.Seed))
-	w := graph.Weight(sp.MaxW)
-	switch sp.Topology {
-	case "random":
-		return graph.RandomConnected(sp.N, 8.0/float64(sp.N), w, rng), nil
-	case "grid":
-		side := 1
-		for side*side < sp.N {
-			side++
-		}
-		return graph.Grid(side, side, w, rng), nil
-	case "internet":
-		return graph.Internet(sp.N, w, rng), nil
-	case "ring":
-		return graph.Ring(sp.N, w, rng), nil
-	case "powerlaw":
-		return graph.BarabasiAlbert(sp.N, 3, w, rng), nil
-	case "community":
-		return graph.Community(sp.N, 4, 0.15, 0.01, w, rng), nil
-	case "roadgrid":
-		side := 1
-		for side*side < sp.N {
-			side++
-		}
-		return graph.RoadGrid(side, side, 0.3, w, rng), nil
-	}
-	return nil, fmt.Errorf("unknown topology %q", sp.Topology)
-}
-
-// Params returns the PDE parameters for a graph of the actual size n.
-func (sp Spec) Params(n int) core.Params {
-	if sp.H == 0 && sp.Sigma == 0 {
-		return core.APSPParams(n, sp.Eps)
-	}
-	src := make([]bool, n)
-	for v := 0; v < n; v += 3 {
-		src[v] = true
-	}
-	h, sigma := sp.H, sp.Sigma
-	if h <= 0 {
-		h = n
-	}
-	if sigma <= 0 {
-		sigma = n
-	}
-	return core.Params{IsSource: src, H: h, Sigma: sigma, Epsilon: sp.Eps, CapMessages: true}
-}
-
-// shard is one immutable snapshot of compiled tables. Queries read it
-// through slot.load() and never observe it mid-build: a rebuild
-// constructs the whole struct off to the side and publishes it with a
+// shard is one immutable snapshot of a built scheme instance. Queries
+// read it through slot.load() and never observe it mid-build: a rebuild
+// constructs the whole instance off to the side and publishes it with a
 // single atomic pointer swap.
 type shard struct {
-	spec    Spec
-	g       *graph.Graph
-	res     *core.Result
-	o       *oracle.Oracle
-	router  *core.Router
-	fp      string // %016x of res.Fingerprint(); returned with every answer
+	spec scheme.Spec
+	inst scheme.Instance
+	g    *graph.Graph
+	// Oracle-backend views, populated only when inst is the oracle
+	// scheme. They are the legacy reference handles the tests compare
+	// served answers against; every serving path goes through inst.
+	res    *core.Result
+	o      *oracle.Oracle
+	router *core.Router
+
+	fp      string // %016x of inst.Fingerprint(); returned with every answer
 	buildNS int64
 }
 
-// buildShard generates the graph, runs the PDE construction, and compiles
-// the oracle — the expensive path behind New and /v1/rebuild.
+// buildShard runs the scheme registry's full build — generate the graph,
+// run the construction, compile the serving tables — the expensive path
+// behind New and /v1/rebuild.
 func buildShard(sp Spec) (*shard, error) {
-	g, err := sp.BuildGraph()
+	inst, err := scheme.Build(sp)
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	res, err := core.Run(g, sp.Params(g.N()), congest.Config{Parallel: true, Workers: sp.BuildWorkers})
-	if err != nil {
-		return nil, fmt.Errorf("pde build: %w", err)
-	}
-	buildNS := time.Since(t0).Nanoseconds()
-	return newShard(sp, g, res, buildNS), nil
+	return instShard(inst), nil
 }
 
-// newShard compiles already-built tables into a serving snapshot.
-func newShard(sp Spec, g *graph.Graph, res *core.Result, buildNS int64) *shard {
-	o := oracle.Compile(res)
-	return &shard{
-		spec:    sp,
-		g:       g,
-		res:     res,
-		o:       o,
-		router:  o.Router(g, res),
-		fp:      fmt.Sprintf("%016x", res.Fingerprint()),
-		buildNS: buildNS,
+// newShard wraps already-built oracle tables into a serving snapshot (the
+// Prebuilt path for callers that paid for the construction elsewhere).
+func newShard(sp Spec, g *graph.Graph, res *core.Result, buildNS int64) (*shard, error) {
+	inst, err := scheme.NewOracleInstance(sp, g, res, buildNS)
+	if err != nil {
+		return nil, err
 	}
+	return instShard(inst), nil
+}
+
+// instShard wraps a built instance into the serving snapshot.
+func instShard(inst scheme.Instance) *shard {
+	sh := &shard{
+		spec:    inst.Spec(),
+		inst:    inst,
+		g:       inst.Graph(),
+		fp:      fmt.Sprintf("%016x", inst.Fingerprint()),
+		buildNS: inst.BuildNS(),
+	}
+	if oi, ok := inst.(*scheme.OracleInstance); ok {
+		sh.res, sh.o, sh.router = oi.Res, oi.O, oi.Rtr
+	}
+	return sh
 }
 
 // slot is the long-lived holder of one named shard: the atomic pointer

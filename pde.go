@@ -11,6 +11,14 @@
 // re-exported here as aliases, so this file documents the intended entry
 // points.
 //
+// The front door for anything servable is internal/scheme: one registry
+// holding the three distance/routing schemes — "oracle" (compiled CSR
+// tables), "rtc" (Theorem 4.5 routing) and "compact" (§4.3 hierarchy) —
+// behind one Spec and one Instance interface (estimates, next hops,
+// routes, plus table/label/stretch accounting). BuildScheme builds any of
+// them; the pde-serve daemon serves any of them, side by side, through
+// the same wire protocol.
+//
 // Quick start:
 //
 //	g := pde.RandomGraph(200, 0.05, 100, 1) // n, density, max weight, seed
@@ -31,6 +39,7 @@ import (
 	"pde/internal/graph"
 	"pde/internal/oracle"
 	"pde/internal/rtc"
+	"pde/internal/scheme"
 	"pde/internal/spanner"
 	"pde/internal/treelabel"
 )
@@ -88,6 +97,14 @@ type (
 	Spanner = spanner.Result
 	// TreeLabeling is a Thorup–Zwick interval-labeled tree.
 	TreeLabeling = treelabel.Labeling
+
+	// SchemeSpec is the unified build recipe of the scheme registry
+	// (internal/scheme): topology + PDE knobs + scheme selector.
+	SchemeSpec = scheme.Spec
+	// SchemeInstance is a built, immutable, concurrently-servable scheme.
+	SchemeInstance = scheme.Instance
+	// SchemeAccounting is the per-scheme table/label/stretch cost sheet.
+	SchemeAccounting = scheme.Accounting
 )
 
 // Compact strategies (Corollary 4.14).
@@ -154,8 +171,21 @@ func NewRouter(g *Graph, res *Estimation) *Router { return core.NewRouter(g, res
 // table generation that answered it.
 func CompileOracle(res *Estimation) *Oracle { return oracle.Compile(res) }
 
+// BuildScheme builds any registered scheme — "oracle", "rtc" or
+// "compact" — from one Spec through the unified registry
+// (internal/scheme). The returned instance answers estimates, next hops
+// and routes from immutable tables, reports its table/label/stretch
+// accounting, and is exactly what a pde-serve shard with the same spec
+// serves: same answers, same fingerprint.
+func BuildScheme(sp SchemeSpec) (SchemeInstance, error) { return scheme.Build(sp) }
+
+// SchemeNames lists the registered schemes.
+func SchemeNames() []string { return scheme.Names() }
+
 // BuildRoutingScheme constructs Theorem 4.5 routing tables: stretch
-// 6k−1+o(1), O(log n)-bit labels, Õ(n^{1/2+1/(4k)} + D) rounds.
+// 6k−1+o(1), O(log n)-bit labels, Õ(n^{1/2+1/(4k)} + D) rounds. For the
+// servable, registry-managed form of the same tables use
+// BuildScheme(SchemeSpec{Scheme: "rtc", ...}).
 func BuildRoutingScheme(g *Graph, p RoutingParams, cfg Config) (*RoutingScheme, error) {
 	return rtc.Build(g, p, cfg)
 }
