@@ -28,6 +28,11 @@
 // all three servable schemes (oracle | rtc | compact) on the identical
 // seeded graph and query streams, through the unified scheme registry.
 //
+// Set-distance scenarios (BENCH_setdist_*.json, schema "pde-setdist/v1",
+// see internal/bench/setdist.go) pin the aggregate tier: the pruned
+// Chamfer/Hausdorff evaluation against its naive |A|×|B| twin on seeded
+// set pairs, failing unless the aggregates are bit-identical.
+//
 // Usage:
 //
 //	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-workers n]
@@ -152,6 +157,13 @@ func main() {
 			selectedSch = append(selectedSch, s)
 		}
 	}
+	setdists := bench.SetDistScenarios()
+	selectedSD := setdists[:0]
+	for _, s := range setdists {
+		if keep(s.Name, s.Quick) {
+			selectedSD = append(selectedSD, s)
+		}
+	}
 	if *list {
 		for _, s := range selected {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
@@ -169,9 +181,13 @@ func main() {
 			sp := s.Spec.Normalized()
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "scheme/"+sp.Scheme, sp.Topology, sp.N, s.Quick)
 		}
+		for _, s := range selectedSD {
+			sp := s.Spec.Normalized()
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "setdist/"+s.Mode, sp.Topology, sp.N, s.Quick)
+		}
 		return
 	}
-	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedSch)
+	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedSch) + len(selectedSD)
 	if total == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
@@ -181,8 +197,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d scheme), GOMAXPROCS=%d\n",
-		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedSch), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d scheme, %d setdist), GOMAXPROCS=%d\n",
+		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedSch), len(selectedSD), runtime.GOMAXPROCS(0))
 	failed := 0
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
@@ -299,6 +315,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ok   %-28s scheme=%-7s stretch=%.2f/%.0f bytes=%.0fKiB qps=%.2fMq/s routes/s=%.0f\n",
 			s.Name, rep.Scheme, rep.MeasuredStretch, rep.StretchBound,
 			float64(rep.TableBytes)/1024, rep.EstimateQPS/1e6, rep.RoutesPerSec)
+	}
+	for _, s := range selectedSD {
+		rep, err := bench.RunSetDistScenario(s)
+		if err != nil {
+			fail(s.Name, err)
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
+			continue
+		}
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok   %-28s |A|=%-3d |B|=%-3d evaluated=%d/%d pruned=%.0f%% speedup=%.2fx\n",
+			s.Name, rep.SetA, rep.SetB, rep.Queries, rep.Pairs,
+			100*float64(rep.Pruned)/float64(rep.Pairs), rep.Speedup)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, total)

@@ -47,6 +47,18 @@
 //
 // The route workload is always JSON (routes are variable-length); with
 // partial-sweep shards unroutable pairs are counted, not fatal.
+//
+// Set-distance mode fires one aggregate /v1/setdist query instead of a
+// batch stream: two seeded member sets are sampled from the shard and
+// the daemon answers their Chamfer / Hausdorff / mean-min aggregates
+// (docs/serving.md describes the endpoint):
+//
+//	pde-query -remote http://127.0.0.1:7475 -setdist [-set-a 32] [-set-b 64]
+//	          [-shard main] [-codec binary|json] [-naive] [-seed 1] [-json]
+//
+// -naive asks the server for the reference |A|×|B| evaluation instead of
+// the pruned engine; the aggregates are bit-identical either way, so the
+// flag exists to compare served wall clock and evaluated counts.
 package main
 
 import (
@@ -123,7 +135,24 @@ func main() {
 	shard := flag.String("shard", "main", "remote mode: shard to target")
 	batch := flag.Int("batch", 4096, "remote mode: queries per request")
 	codec := flag.String("codec", "binary", "remote mode: binary | json batch bodies (route is always json)")
+	setDist := flag.Bool("setdist", false, "remote mode: fire one aggregate set-distance query instead of a batch stream")
+	setA := flag.Int("set-a", 32, "-setdist: member count of set A (seeded sample of the shard's nodes)")
+	setB := flag.Int("set-b", 64, "-setdist: member count of set B (seeded sample of the shard's nodes)")
+	naive := flag.Bool("naive", false, "-setdist: request the naive |A|x|B| reference evaluation instead of the pruned engine")
 	flag.Parse()
+
+	if *setDist && *remote == "" {
+		fmt.Fprintln(os.Stderr, "pde-query: -setdist is a remote mode; point it at a daemon with -remote")
+		os.Exit(2)
+	}
+	if *remote != "" && *setDist {
+		runSetDist(setDistOpts{
+			base: *remote, shard: *shard, codec: *codec,
+			sizeA: *setA, sizeB: *setB, naive: *naive, seed: *seed,
+			asJSON: *asJSON,
+		})
+		return
+	}
 
 	if *remote != "" {
 		runRemote(remoteOpts{
@@ -540,4 +569,90 @@ func runRemote(opt remoteOpts) {
 		opt.workload, opt.base, opt.shard, n, sum.RemoteFP)
 	fmt.Printf("pde-query: served %d queries (%d delivered) in %d-query %s batches over %d client(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
 		opt.queries, sum.Delivered, opt.batch, sum.Codec, workers, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
+}
+
+// setDistOpts parameterizes a -setdist run against a pde-serve daemon.
+type setDistOpts struct {
+	base, shard, codec string
+	sizeA, sizeB       int
+	naive              bool
+	seed               int64
+	asJSON             bool
+}
+
+// runSetDist samples two seeded member sets from the target shard and
+// fires a single /v1/setdist aggregate query, printing the Chamfer /
+// Hausdorff / mean-min aggregates and the server's pruning accounting.
+func runSetDist(opt setDistOpts) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pde-query: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if opt.codec != "binary" && opt.codec != "json" {
+		fail("unknown codec %q (want binary or json)", opt.codec)
+	}
+	if opt.sizeA <= 0 || opt.sizeB <= 0 {
+		fail("-set-a and -set-b must be positive (got %d, %d)", opt.sizeA, opt.sizeB)
+	}
+	client := &server.Client{BaseURL: opt.base, Shard: opt.shard}
+	st, err := client.Stats()
+	if err != nil {
+		fail("fetching /v1/stats from %s: %v", opt.base, err)
+	}
+	status, ok := st.Shards[opt.shard]
+	if !ok {
+		fail("daemon has no shard %q", opt.shard)
+	}
+	n := status.N
+
+	rng := rand.New(rand.NewSource(opt.seed))
+	a := make([]int32, opt.sizeA)
+	for i := range a {
+		a[i] = int32(rng.Intn(n))
+	}
+	b := make([]int32, opt.sizeB)
+	for i := range b {
+		b[i] = int32(rng.Intn(n))
+	}
+
+	t0 := time.Now()
+	resp, err := client.SetDist(a, b, opt.naive, opt.codec == "json")
+	wall := time.Since(t0)
+	if err != nil {
+		fail("setdist: %v", err)
+	}
+
+	if opt.asJSON {
+		data, err := json.MarshalIndent(struct {
+			*server.SetDistResponse
+			WallNS int64 `json:"wall_ns"`
+		}{resp, wall.Nanoseconds()}, "", "  ")
+		if err != nil {
+			fail("marshal: %v", err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+
+	agg := func(w server.WireAggregates) string {
+		if !w.Finite {
+			return fmt.Sprintf("chamfer=inf hausdorff=inf mean-min=inf (%d of %d members unreachable)",
+				w.Unreachable, w.Members)
+		}
+		return fmt.Sprintf("chamfer=%.3f hausdorff=%.3f mean-min=%.3f", w.Chamfer, w.Hausdorff, w.MeanMin)
+	}
+	sym := "inf"
+	if resp.HausdorffFinite {
+		sym = fmt.Sprintf("%.3f", resp.Hausdorff)
+	}
+	mode := "pruned"
+	if opt.naive {
+		mode = "naive"
+	}
+	fmt.Printf("pde-query: setdist shard=%q n=%d |A|=%d |B|=%d codec=%s (fingerprint %s)\n",
+		opt.shard, n, len(a), len(b), opt.codec, resp.Fingerprint)
+	fmt.Printf("pde-query: A->B %s\n", agg(resp.AB))
+	fmt.Printf("pde-query: B->A %s\n", agg(resp.BA))
+	fmt.Printf("pde-query: symmetric Hausdorff %s — %s engine evaluated %d of %d candidate pairs (%d pruned) in %.2fms\n",
+		sym, mode, resp.Evaluated, resp.Pairs, resp.Pruned, float64(wall.Nanoseconds())/1e6)
 }

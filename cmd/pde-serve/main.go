@@ -1,8 +1,10 @@
 // Command pde-serve is the long-lived distance-query daemon: it builds
 // one or more graph scenarios into independent oracle shards
-// (internal/server) and serves estimate / next-hop / route traffic over
-// HTTP, with admin hot-swap rebuilds, micro-batched oracle dispatch, a
-// route LRU, and per-shard stats.
+// (internal/server) and serves estimate / next-hop / route traffic plus
+// aggregate set-distance queries (/v1/setdist: Chamfer, Hausdorff and
+// mean-min between two member sets, answered by the pruned
+// internal/setdist engine) over HTTP, with admin hot-swap rebuilds,
+// micro-batched oracle dispatch, a route LRU, and per-shard stats.
 //
 // Usage:
 //
@@ -24,8 +26,8 @@
 // wire protocol; a daemon can hold one shard per scheme side by side.
 //
 // Endpoints, wire formats, and hot-swap semantics are documented in
-// internal/server and the README's Serving section. The daemon exits
-// gracefully on SIGINT/SIGTERM, draining in-flight requests.
+// docs/serving.md and internal/server. The daemon exits gracefully on
+// SIGINT/SIGTERM, draining in-flight requests.
 package main
 
 import (

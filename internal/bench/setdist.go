@@ -1,0 +1,305 @@
+package bench
+
+// This file is the set-distance companion of scheme.go: where
+// BENCH_scheme_*.json pins the single-pair serving surface,
+// BENCH_setdist_*.json pins the aggregate tier (internal/setdist) — the
+// pruned Chamfer/Hausdorff evaluation against its naive |A|×|B| twin on
+// seeded community and road-grid set pairs. Each run evaluates both
+// ways, requires the aggregates bit-identical (the scenario fails
+// otherwise), and records the wall-clock speedup pruning buys.
+//
+// # BENCH_setdist_*.json schema (schema id "pde-setdist/v1")
+//
+//	schema              string  – always "pde-setdist/v1"
+//	name                string  – scenario name (also in the filename)
+//	scheme              string  – serving backend (oracle | rtc | compact)
+//	topology, n, m, seed, params – instance description, as in pde-scheme/v1
+//	build_ns            int64   – wall clock of the scheme construction
+//	set_mode            string  – how the sets are drawn: "community0"
+//	                              (A = the community generator's 0th
+//	                              round-robin class) or "block" (A = a
+//	                              seeded sample of the first quarter of
+//	                              node ids); B is always a seeded
+//	                              city-wide sample
+//	set_a, set_b        int     – member counts |A|, |B|
+//	pairs               int64   – naive candidate pairs 2·|A|·|B|
+//	queries             int     – scheme estimates the pruned evaluation
+//	                              issued (deterministic; -check guarded)
+//	pruned              int64   – pairs − queries
+//	chamfer_ab, hausdorff_ab, mean_min_ab – A→B aggregates
+//	chamfer_ba, hausdorff_ba, mean_min_ba – B→A aggregates
+//	hausdorff           float64 – symmetric Hausdorff distance
+//	identical           bool    – pruned aggregates bit-identical to the
+//	                              naive loop (false fails the scenario,
+//	                              so committed artifacts always say true)
+//	reps                int     – timed repetitions per mode; the modes
+//	                              are interleaved and each records its
+//	                              best rep, so scheduler noise cannot
+//	                              skew the ratio
+//	pruned_wall_ns      int64   – best single-rep wall clock, pruned
+//	naive_wall_ns       int64   – best single-rep wall clock, naive
+//	speedup             float64 – naive_wall_ns / pruned_wall_ns
+//	pruned_pairs_per_sec float64 – candidate pairs resolved per second
+//	                              by the pruned engine
+//	fingerprint         string  – FNV-1a digest over every aggregate and
+//	                              the evaluation counts; fully
+//	                              deterministic, guarded by -check
+//	gomaxprocs          int     – scheduler width the run observed
+//
+// Wall-clock and speedup fields are machine-dependent; the -check guard
+// compares only the deterministic fields (schema, fingerprint, n, m,
+// seed, queries).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"pde/internal/scheme"
+	"pde/internal/setdist"
+)
+
+// SetDistSchemaID identifies the set-distance report format.
+const SetDistSchemaID = "pde-setdist/v1"
+
+// SetDistScenario is one cell of the set-distance benchmark matrix.
+type SetDistScenario struct {
+	// Name must start with "setdist_" so the artifact is
+	// BENCH_setdist_*.json.
+	Name  string
+	Quick bool
+	// Spec is the full build recipe of the serving instance.
+	Spec scheme.Spec
+	// Mode selects the A-set shape: "community0" or "block" (see the
+	// schema comment). B is always a seeded city-wide sample.
+	Mode string
+	// SizeA / SizeB are the member counts to draw.
+	SizeA, SizeB int
+	// Reps is the timed repetitions per evaluation mode (default 5).
+	Reps int
+}
+
+// SetDistReport is the BENCH_setdist_*.json payload. See the schema
+// comment.
+type SetDistReport struct {
+	Schema   string             `json:"schema"`
+	Name     string             `json:"name"`
+	Scheme   string             `json:"scheme"`
+	Topology string             `json:"topology"`
+	N        int                `json:"n"`
+	M        int                `json:"m"`
+	Seed     int64              `json:"seed"`
+	Params   map[string]float64 `json:"params,omitempty"`
+	BuildNS  int64              `json:"build_ns"`
+
+	SetMode string `json:"set_mode"`
+	SetA    int    `json:"set_a"`
+	SetB    int    `json:"set_b"`
+
+	Pairs   int64 `json:"pairs"`
+	Queries int   `json:"queries"`
+	Pruned  int64 `json:"pruned"`
+
+	ChamferAB   float64 `json:"chamfer_ab"`
+	HausdorffAB float64 `json:"hausdorff_ab"`
+	MeanMinAB   float64 `json:"mean_min_ab"`
+	ChamferBA   float64 `json:"chamfer_ba"`
+	HausdorffBA float64 `json:"hausdorff_ba"`
+	MeanMinBA   float64 `json:"mean_min_ba"`
+	Hausdorff   float64 `json:"hausdorff"`
+	Identical   bool    `json:"identical"`
+
+	Reps              int     `json:"reps"`
+	PrunedWallNS      int64   `json:"pruned_wall_ns"`
+	NaiveWallNS       int64   `json:"naive_wall_ns"`
+	Speedup           float64 `json:"speedup"`
+	PrunedPairsPerSec float64 `json:"pruned_pairs_per_sec"`
+
+	Fingerprint string `json:"fingerprint"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+}
+
+// Filename returns the artifact name for this report.
+func (r *SetDistReport) Filename() string { return "BENCH_" + r.Name + ".json" }
+
+// JSON marshals the report, indented for human diffing.
+func (r *SetDistReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// setDistSets draws the scenario's seeded member sets on the built
+// graph. A's shape depends on the mode; B is a city-wide uniform sample,
+// so the candidate distances for any a span the whole diameter — the
+// regime where the landmark ordering has something to discriminate.
+func setDistSets(s SetDistScenario, n int) (a, b []int32, err error) {
+	srng := rng(s.Spec.Seed + 9009)
+	switch s.Mode {
+	case "community0":
+		// The community generator assigns node v to community v % 4.
+		var class []int32
+		for v := 0; v < n; v++ {
+			if v%4 == 0 {
+				class = append(class, int32(v))
+			}
+		}
+		if s.SizeA > len(class) {
+			return nil, nil, fmt.Errorf("set A wants %d members, community 0 has %d", s.SizeA, len(class))
+		}
+		srng.Shuffle(len(class), func(i, j int) { class[i], class[j] = class[j], class[i] })
+		a = class[:s.SizeA]
+	case "block":
+		quarter := n / 4
+		if quarter < 1 {
+			return nil, nil, fmt.Errorf("graph too small for block mode (n=%d)", n)
+		}
+		a = make([]int32, s.SizeA)
+		for i := range a {
+			a[i] = int32(srng.Intn(quarter))
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown set mode %q", s.Mode)
+	}
+	b = make([]int32, s.SizeB)
+	for i := range b {
+		b[i] = int32(srng.Intn(n))
+	}
+	return a, b, nil
+}
+
+// sameSetDist reports bit-level equality of two evaluation results — the
+// artifact's "identical" guarantee.
+func sameSetDist(p, q *setdist.Result) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	agg := func(x, y setdist.Aggregates) bool {
+		return eq(x.Chamfer, y.Chamfer) && eq(x.Hausdorff, y.Hausdorff) && eq(x.MeanMin, y.MeanMin) &&
+			x.Members == y.Members && x.Unreachable == y.Unreachable
+	}
+	return agg(p.AB, q.AB) && agg(p.BA, q.BA) && eq(p.Hausdorff, q.Hausdorff) && p.Pairs == q.Pairs
+}
+
+// RunSetDistScenario builds the serving instance, evaluates the seeded
+// set pair pruned and naive, fails unless the aggregates are
+// bit-identical, and times both modes.
+func RunSetDistScenario(s SetDistScenario) (*SetDistReport, error) {
+	inst, err := scheme.Build(s.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", s.Name, err)
+	}
+	g := inst.Graph()
+	sp := inst.Spec()
+	a, b, err := setDistSets(s, g.N())
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", s.Name, err)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	pruned, err := setdist.Eval(inst, a, b, setdist.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: pruned eval: %w", s.Name, err)
+	}
+	naive, err := setdist.Eval(inst, a, b, setdist.Options{Naive: true, Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: naive eval: %w", s.Name, err)
+	}
+	if !sameSetDist(pruned, naive) {
+		return nil, fmt.Errorf("bench %s: pruned aggregates diverge from the naive loop: %+v vs %+v",
+			s.Name, pruned, naive)
+	}
+
+	reps := s.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	// Interleave the modes and keep each one's best rep: drift and noise
+	// spikes then hit both modes alike instead of skewing the ratio.
+	var prunedWall, naiveWall time.Duration
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if _, err := setdist.Eval(inst, a, b, setdist.Options{Workers: workers}); err != nil {
+			return nil, fmt.Errorf("bench %s: %w", s.Name, err)
+		}
+		if d := time.Since(t0); i == 0 || d < prunedWall {
+			prunedWall = d
+		}
+		t0 = time.Now()
+		if _, err := setdist.Eval(inst, a, b, setdist.Options{Naive: true, Workers: workers}); err != nil {
+			return nil, fmt.Errorf("bench %s: %w", s.Name, err)
+		}
+		if d := time.Since(t0); i == 0 || d < naiveWall {
+			naiveWall = d
+		}
+	}
+
+	rep := &SetDistReport{
+		Schema:   SetDistSchemaID,
+		Name:     s.Name,
+		Scheme:   inst.Scheme(),
+		Topology: sp.Topology,
+		N:        g.N(),
+		M:        g.M(),
+		Seed:     sp.Seed,
+		BuildNS:  inst.BuildNS(),
+		SetMode:  s.Mode,
+		SetA:     len(a),
+		SetB:     len(b),
+
+		Pairs:   pruned.Pairs,
+		Queries: int(pruned.Evaluated),
+		Pruned:  pruned.Pruned,
+
+		ChamferAB:   pruned.AB.Chamfer,
+		HausdorffAB: pruned.AB.Hausdorff,
+		MeanMinAB:   pruned.AB.MeanMin,
+		ChamferBA:   pruned.BA.Chamfer,
+		HausdorffBA: pruned.BA.Hausdorff,
+		MeanMinBA:   pruned.BA.MeanMin,
+		Hausdorff:   pruned.Hausdorff,
+		Identical:   true,
+
+		Reps:         reps,
+		PrunedWallNS: prunedWall.Nanoseconds(),
+		NaiveWallNS:  naiveWall.Nanoseconds(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+	}
+	rep.Params = map[string]float64{"eps": sp.Eps, "maxw": float64(sp.MaxW)}
+	if sp.Scheme != "oracle" {
+		rep.Params["k"] = float64(sp.K)
+	}
+	if prunedWall > 0 {
+		rep.Speedup = float64(naiveWall) / float64(prunedWall)
+		rep.PrunedPairsPerSec = qps(int(pruned.Pairs), prunedWall)
+	}
+
+	fph := newFP()
+	for _, agg := range []setdist.Aggregates{pruned.AB, pruned.BA} {
+		fph.F64(agg.Chamfer)
+		fph.F64(agg.Hausdorff)
+		fph.F64(agg.MeanMin)
+		fph.I64(int64(agg.Members))
+		fph.I64(int64(agg.Unreachable))
+	}
+	fph.F64(pruned.Hausdorff)
+	fph.I64(pruned.Pairs)
+	fph.I64(pruned.Evaluated)
+	rep.Fingerprint = fmt.Sprintf("%016x", fph.Sum())
+	return rep, nil
+}
+
+// SetDistScenarios returns the set-distance matrix: the headline
+// community-n256 pair (one community against a city-wide sample) and a
+// road-grid pair, both in the quick subset so the pruned-vs-naive
+// speedup and bit-identity are pinned every PR.
+//
+// Both scenarios serve from the compact (k=3) scheme deliberately: its
+// per-estimate cost is ~10x the compiled oracle's indexed lookup, which
+// is exactly the regime the pruned tier exists for — the cheaper each
+// estimate, the more of the wall clock the landmark Dijkstras are, while
+// an expensive scheme turns every pruned candidate into real savings.
+func SetDistScenarios() []SetDistScenario {
+	community := scheme.Spec{Topology: "community", N: 256, Eps: 0.5, MaxW: 8, Seed: 21, Scheme: "compact", K: 3}
+	roadgrid := scheme.Spec{Topology: "roadgrid", N: 256, Eps: 0.5, MaxW: 8, Seed: 21, Scheme: "compact", K: 3}
+	return []SetDistScenario{
+		{Name: "setdist_community-n256", Quick: true, Spec: community, Mode: "community0", SizeA: 64, SizeB: 224},
+		{Name: "setdist_roadgrid-16x16", Quick: true, Spec: roadgrid, Mode: "block", SizeA: 48, SizeB: 128},
+	}
+}

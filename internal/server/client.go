@@ -137,6 +137,43 @@ func (c *Client) NextHop(qs []oracle.Query, asJSON bool) ([]Hop, string, error) 
 	return hops, resp.Header.Get("X-Pde-Fingerprint"), nil
 }
 
+// SetDist evaluates aggregate set-to-set distances between a and b over
+// the binary codec (or JSON when asJSON is set). Both encodings return
+// the JSON wire shape; the binary PDSA frame's raw infinities are folded
+// into the same finite-flag convention on decode, so the two paths are
+// interchangeable to callers. naive requests the unpruned reference
+// evaluation.
+func (c *Client) SetDist(a, b []int32, naive, asJSON bool) (*SetDistResponse, error) {
+	if asJSON {
+		body, err := json.Marshal(&SetDistRequest{Shard: c.Shard, A: a, B: b, Naive: naive})
+		if err != nil {
+			return nil, err
+		}
+		data, _, err := c.post("/v1/setdist", "application/json", body)
+		if err != nil {
+			return nil, err
+		}
+		var resp SetDistResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, fmt.Errorf("decoding setdist response: %w", err)
+		}
+		return &resp, nil
+	}
+	path := "/v1/setdist?shard=" + url.QueryEscape(c.Shard)
+	if naive {
+		path += "&naive=1"
+	}
+	data, resp, err := c.post(path, ContentTypeBinary, EncodeSetDistQuery(a, b))
+	if err != nil {
+		return nil, err
+	}
+	res, err := DecodeSetDistAnswer(data)
+	if err != nil {
+		return nil, err
+	}
+	return setDistResponse(resp.Header.Get("X-Pde-Shard"), resp.Header.Get("X-Pde-Fingerprint"), res), nil
+}
+
 // Route expands a batch of (from, to) pairs.
 func (c *Client) Route(pairs []WirePair) (*RouteResponse, error) {
 	body, err := json.Marshal(&RouteRequest{Shard: c.Shard, Pairs: pairs})

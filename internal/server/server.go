@@ -23,14 +23,17 @@
 //	POST /v1/estimate   batch of (v, s) point estimates
 //	POST /v1/nexthop    batch of (v, s) next-hop decisions
 //	POST /v1/route      batch of (from, to) full route expansions (LRU-cached)
+//	POST /v1/setdist    aggregate set-to-set distances (Chamfer/Hausdorff/
+//	                    mean-min over internal/setdist's pruned evaluation)
 //	POST /v1/rebuild    rebuild a shard's tables and hot-swap them in
 //	GET  /v1/stats      per-shard counters, batch shape, cache hit rate
 //	GET  /healthz       liveness + shard inventory
 //
-// /v1/estimate and /v1/nexthop also speak the length-prefixed binary
-// batch codec (see codec.go): send Content-Type application/x-pde-batch
-// with ?shard= in the URL and the response body is the matching binary
-// frame, with the table fingerprint in the X-Pde-Fingerprint header.
+// /v1/estimate, /v1/nexthop and /v1/setdist also speak the
+// length-prefixed binary batch codec (see codec.go): send Content-Type
+// application/x-pde-batch with ?shard= in the URL and the response body
+// is the matching binary frame, with the table fingerprint in the
+// X-Pde-Fingerprint header.
 //
 // Errors are always the JSON envelope {"error": {"code", "message"}}:
 // 400 bad_request / out_of_range / empty_batch, 404 unknown_shard,
@@ -164,6 +167,7 @@ func assemble(cfg Config, shards []namedShard) (*Server, error) {
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/nexthop", s.handleNextHop)
 	s.mux.HandleFunc("/v1/route", s.handleRoute)
+	s.mux.HandleFunc("/v1/setdist", s.handleSetDist)
 	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -195,10 +199,14 @@ func (s *Server) Fingerprint(name string) (string, bool) {
 
 // --- error envelope ----------------------------------------------------
 
+// ErrorEnvelope is the body of every error response: {"error": {"code",
+// "message"}} with the codes listed in the package comment.
 type ErrorEnvelope struct {
 	Error ErrorBody `json:"error"`
 }
 
+// ErrorBody carries the machine-readable code and the human-readable
+// message of an error response.
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
@@ -259,16 +267,22 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 
 // --- wire types --------------------------------------------------------
 
+// WireQuery is one (v, s) point query: the distance estimate (or next
+// hop) at node v for source s.
 type WireQuery struct {
 	V int32 `json:"v"`
 	S int32 `json:"s"`
 }
 
+// BatchRequest is the JSON body of /v1/estimate and /v1/nexthop.
 type BatchRequest struct {
 	Shard   string      `json:"shard"`
 	Queries []WireQuery `json:"queries"`
 }
 
+// WireAnswer is one point estimate: the distance, its source entry, the
+// first forwarding hop and the rounding instance it came from. OK false
+// means the shard's tables have no entry for the pair (partial sweeps).
 type WireAnswer struct {
 	OK       bool    `json:"ok"`
 	Dist     float64 `json:"dist"`
@@ -278,28 +292,35 @@ type WireAnswer struct {
 	Flag     uint8   `json:"flag"`
 }
 
+// EstimateResponse is the JSON reply of /v1/estimate, stamped with the
+// build fingerprint of the table generation that answered every query.
 type EstimateResponse struct {
 	Shard       string       `json:"shard"`
 	Fingerprint string       `json:"fingerprint"`
 	Answers     []WireAnswer `json:"answers"`
 }
 
+// NexthopResponse is the JSON reply of /v1/nexthop.
 type NexthopResponse struct {
 	Shard       string `json:"shard"`
 	Fingerprint string `json:"fingerprint"`
 	Hops        []Hop  `json:"hops"`
 }
 
+// WirePair is one (from, to) route request pair.
 type WirePair struct {
 	From int32 `json:"from"`
 	To   int32 `json:"to"`
 }
 
+// RouteRequest is the JSON body of /v1/route.
 type RouteRequest struct {
 	Shard string     `json:"shard"`
 	Pairs []WirePair `json:"pairs"`
 }
 
+// WireRoute is one expanded route. An undeliverable pair sets OK false
+// with the reason in Error — data, not an HTTP error.
 type WireRoute struct {
 	OK     bool         `json:"ok"`
 	Path   []int        `json:"path,omitempty"`
@@ -308,6 +329,7 @@ type WireRoute struct {
 	Error  string       `json:"error,omitempty"`
 }
 
+// RouteResponse is the JSON reply of /v1/route.
 type RouteResponse struct {
 	Shard       string      `json:"shard"`
 	Fingerprint string      `json:"fingerprint"`
@@ -526,6 +548,8 @@ type RebuildRequest struct {
 	SampleProb   *float64 `json:"sample_prob,omitempty"`
 }
 
+// RebuildResponse reports a hot swap: the fingerprints before and after,
+// whether they differ, and the new build's cost and shape.
 type RebuildResponse struct {
 	Shard          string `json:"shard"`
 	OldFingerprint string `json:"old_fingerprint"`
@@ -626,6 +650,8 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 
 // --- stats & health ----------------------------------------------------
 
+// BatchStats describes the micro-batch shape a shard achieved:
+// point lookups per coalesced flush.
 type BatchStats struct {
 	Flushes    int64   `json:"flushes"`
 	Requests   int64   `json:"requests"`
@@ -634,6 +660,7 @@ type BatchStats struct {
 	MaxQueries int64   `json:"max_queries"`
 }
 
+// CacheStats is the route LRU's hit accounting.
 type CacheStats struct {
 	Size    int     `json:"size"`
 	Hits    int64   `json:"hits"`
@@ -641,13 +668,18 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// QueryCounts is the per-endpoint serving tally in /v1/stats. SetDist
+// counts candidate pairs (2·|A|·|B| per request), the endpoint's
+// point-lookup equivalent.
 type QueryCounts struct {
 	Estimate int64 `json:"estimate"`
 	NextHop  int64 `json:"nexthop"`
 	Route    int64 `json:"route"`
+	SetDist  int64 `json:"setdist"`
 	Total    int64 `json:"total"`
 }
 
+// ShardStatus is one shard's entry in /v1/stats.
 type ShardStatus struct {
 	Spec   Spec   `json:"spec"`
 	Scheme string `json:"scheme"`
@@ -671,6 +703,7 @@ type ShardStatus struct {
 	RouteCache    CacheStats  `json:"route_cache"`
 }
 
+// StatsResponse is the reply of /v1/stats.
 type StatsResponse struct {
 	UptimeNS   int64                  `json:"uptime_ns"`
 	GoMaxProcs int                    `json:"gomaxprocs"`
@@ -695,8 +728,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Estimate: st.estimateQueries.Load(),
 			NextHop:  st.nexthopQueries.Load(),
 			Route:    st.routeQueries.Load(),
+			SetDist:  st.setdistPairs.Load(),
 		}
-		qc.Total = qc.Estimate + qc.NextHop + qc.Route
+		qc.Total = qc.Estimate + qc.NextHop + qc.Route + qc.SetDist
 		bs := BatchStats{
 			Flushes:    st.batches.Load(),
 			Requests:   st.batchedRequests.Load(),
@@ -735,6 +769,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, &resp)
 }
 
+// HealthResponse is the reply of /healthz.
 type HealthResponse struct {
 	Status   string   `json:"status"`
 	UptimeNS int64    `json:"uptime_ns"`

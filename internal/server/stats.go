@@ -10,6 +10,7 @@ type shardStats struct {
 	estimateQueries atomic.Int64 // point lookups served by /v1/estimate
 	nexthopQueries  atomic.Int64 // point lookups served by /v1/nexthop
 	routeQueries    atomic.Int64 // route expansions served by /v1/route
+	setdistPairs    atomic.Int64 // candidate pairs served by /v1/setdist
 
 	// Micro-batch shape: batches is dispatcher flushes, batchedRequests
 	// the HTTP requests coalesced into them, batchedQueries the point
@@ -38,7 +39,8 @@ func (st *shardStats) recordBatch(requests, queries int) {
 	}
 }
 
-// queriesTotal is every point lookup and route expansion served.
+// queriesTotal is every point lookup, route expansion and set-distance
+// candidate pair served.
 func (st *shardStats) queriesTotal() int64 {
-	return st.estimateQueries.Load() + st.nexthopQueries.Load() + st.routeQueries.Load()
+	return st.estimateQueries.Load() + st.nexthopQueries.Load() + st.routeQueries.Load() + st.setdistPairs.Load()
 }

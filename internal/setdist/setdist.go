@@ -1,0 +1,450 @@
+// Package setdist is the aggregate set-to-set distance tier: given two
+// node sets A and B, it computes Chamfer (sum of min-distances),
+// Hausdorff (max of min-distances) and mean-min aggregates over any
+// registered scheme (internal/scheme) — the workload class of
+// "how far is district A from district B" queries that single-pair
+// endpoints cannot serve without |A|×|B| round trips.
+//
+// The paper's partial-distance-estimation machinery is what makes the
+// tier cheap: a scheme estimate d̃(u, v) never underestimates the true
+// distance (it is the weight of a real path, stretch-bounded above), so
+// a *lower* bound on the true distance is also a lower bound on the
+// estimate, and most of the |A|×|B| candidate work can be pruned against
+// a running upper bound — the partial-distance-computation idiom of the
+// cover-tree literature (abandon a candidate as soon as its bound
+// exceeds the best seen), lifted from coordinates to graphs.
+//
+// Concretely, one evaluation:
+//
+//  1. Runs exact Dijkstra from two landmarks shared by both directions —
+//     B's first member, then the node farthest from it — giving every
+//     node two keys key₁(x) = d(c₁, x), key₂(x) = d(c₂, x). By the
+//     triangle inequality d(a, b) ≥ |keyᵢ(a) − keyᵢ(b)| for each
+//     landmark; two far-apart landmarks discriminate candidates that a
+//     single one would see as equidistant rings.
+//  2. Sorts the candidate set by key₁, so candidates near a query
+//     member's key are the promising ones and the first-landmark bound
+//     grows monotonically away from it.
+//  3. For each member, expands candidates outward from its key₁
+//     position in small AnswerInto batches, keeping the best (smallest)
+//     estimate seen. A side of the expansion is abandoned — all its
+//     remaining candidates pruned — as soon as its key₁ bound reaches
+//     the running best; an individual candidate is skipped without a
+//     query when its key₂ bound does. The first candidates evaluated are
+//     the nearest-by-key ones, so the first bound is already tight.
+//
+// Pruning never changes an answer: a pruned candidate b satisfies
+// d̃(a, b) ≥ d(a, b) ≥ |keyᵢ(a) − keyᵢ(b)| ≥ best, so it cannot lower
+// the min. The differential tests (and the BENCH_setdist_* artifacts'
+// naive twin) pin pruned aggregates bit-identical to the naive double
+// loop on every scheme.
+//
+// Conventions: a member of A that also belongs to B contributes a zero
+// min-distance without a query (matching the server's v == s terminal
+// semantics); a member with no finite estimate to any candidate
+// contributes +Inf, which propagates into the aggregates exactly like
+// graph.Stretch propagates an unreachable baseline. Both sets must be
+// non-empty; duplicates are allowed and count per occurrence.
+package setdist
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pde/internal/graph"
+	"pde/internal/oracle"
+	"pde/internal/scheme"
+)
+
+// evalChunk is the number of candidates one AnswerInto batch carries in
+// the pruned expansion: large enough to amortize the batch-call
+// overhead, small enough that the running bound stays fresh between
+// flushes (stale bounds cost extra evaluations, never wrong answers).
+const evalChunk = 16
+
+// Options tunes one evaluation.
+type Options struct {
+	// Naive disables pruning and landmark ordering: every (x, y) pair is
+	// evaluated through the scheme's batch path. This is the reference
+	// twin the benchmarks time the pruned engine against; answers are
+	// identical by construction.
+	Naive bool
+	// Workers fans the per-member evaluation across goroutines
+	// (0 = GOMAXPROCS, 1 = sequential). Aggregates are reduced in member
+	// order afterwards, so the result is bit-identical at any width.
+	Workers int
+}
+
+// Aggregates holds one direction's (X→Y) aggregate distances. A
+// direction with any unreachable member reports +Inf Chamfer, Hausdorff
+// and MeanMin — the graph.Stretch convention: an unreachable baseline
+// poisons the aggregate rather than silently vanishing from it.
+type Aggregates struct {
+	// Chamfer is Σ_{x∈X} min_{y∈Y} d̃(x, y), the (directed) Chamfer
+	// distance over the scheme's estimates.
+	Chamfer float64
+	// Hausdorff is max_{x∈X} min_{y∈Y} d̃(x, y), the directed Hausdorff
+	// distance.
+	Hausdorff float64
+	// MeanMin is Chamfer / |X|.
+	MeanMin float64
+	// Members is |X|, counting duplicates.
+	Members int
+	// Unreachable counts members of X with no finite estimate to any
+	// member of Y.
+	Unreachable int
+}
+
+// Finite reports whether the direction's aggregates are finite (no
+// unreachable members).
+func (a Aggregates) Finite() bool { return a.Unreachable == 0 }
+
+// Result is one full evaluation: both directed aggregate sets, the
+// symmetric Hausdorff distance, and the pruning accounting.
+type Result struct {
+	// AB aggregates A→B (min over B for each member of A); BA the
+	// reverse direction.
+	AB, BA Aggregates
+	// Hausdorff is the symmetric Hausdorff distance
+	// max(AB.Hausdorff, BA.Hausdorff).
+	Hausdorff float64
+	// Pairs is the total candidate count 2·|A|·|B| a naive evaluation
+	// would consider.
+	Pairs int64
+	// Evaluated is the number of scheme estimates actually computed;
+	// Pruned = Pairs − Evaluated is what the bound (and the free
+	// zero-distance self matches) skipped.
+	Evaluated int64
+	Pruned    int64
+}
+
+// Eval computes the set-to-set aggregates between a and b over the
+// scheme instance's estimate surface. Both sets must be non-empty and
+// every id in [0, n); the instance is read-only, so concurrent Evals
+// against one instance are safe.
+func Eval(inst scheme.Instance, a, b []int32, opt Options) (*Result, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, fmt.Errorf("setdist: both sets must be non-empty (|A|=%d, |B|=%d)", len(a), len(b))
+	}
+	n := int32(inst.Graph().N())
+	for i, v := range a {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("setdist: A[%d] = %d outside [0, %d)", i, v, n)
+		}
+	}
+	for i, v := range b {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("setdist: B[%d] = %d outside [0, %d)", i, v, n)
+		}
+	}
+	res := &Result{Pairs: 2 * int64(len(a)) * int64(len(b))}
+	var lm landmarks
+	if !opt.Naive {
+		lm = newLandmarks(inst.Graph(), b)
+	}
+	var evaluated int64
+	res.AB = evalDirection(inst, a, b, lm, opt, &evaluated)
+	res.BA = evalDirection(inst, b, a, lm, opt, &evaluated)
+	res.Evaluated = evaluated
+	res.Pruned = res.Pairs - evaluated
+	res.Hausdorff = math.Max(res.AB.Hausdorff, res.BA.Hausdorff)
+	return res, nil
+}
+
+// evalDirection computes the X→Y aggregates, adding the number of scheme
+// estimates it issued to evaluated.
+func evalDirection(inst scheme.Instance, x, y []int32, lm landmarks, opt Options, evaluated *int64) Aggregates {
+	minD := make([]float64, len(x))
+	if opt.Naive {
+		*evaluated += naiveMins(inst, x, y, minD, opt.Workers)
+	} else {
+		*evaluated += prunedMins(inst, x, y, lm, minD, opt.Workers)
+	}
+	// Reduce in member order, independent of the worker fan-out, so the
+	// float sums are bit-identical at any width.
+	agg := Aggregates{Members: len(x)}
+	for _, d := range minD {
+		if math.IsInf(d, 1) {
+			agg.Unreachable++
+		}
+		agg.Chamfer += d
+		if d > agg.Hausdorff {
+			agg.Hausdorff = d
+		}
+	}
+	agg.MeanMin = agg.Chamfer / float64(len(x))
+	return agg
+}
+
+// estimate converts one scheme answer to the engine's distance scale: a
+// miss is +Inf (no estimate exists, the unreachable convention).
+func estimate(ans oracle.Answer) float64 {
+	if !ans.OK {
+		return math.Inf(1)
+	}
+	return ans.Est.Dist
+}
+
+// naiveMins fills minD[i] with min over Y of the scheme estimate from
+// x[i], evaluating every non-self candidate — the |X|×|Y| reference.
+func naiveMins(inst scheme.Instance, x, y []int32, minD []float64, workers int) int64 {
+	var evaluated atomic.Int64
+	fanOut(len(x), workers, func(lo, hi int) {
+		qs := make([]oracle.Query, len(y))
+		out := make([]oracle.Answer, len(y))
+		var local int64
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			best := math.Inf(1)
+			k := 0
+			for _, yi := range y {
+				if yi == xi {
+					best = 0 // self match: zero by convention, no query
+					continue
+				}
+				qs[k] = oracle.Query{V: xi, S: yi}
+				k++
+			}
+			if k > 0 {
+				inst.AnswerInto(qs[:k], out[:k], 1)
+				local += int64(k)
+				for j := 0; j < k; j++ {
+					if d := estimate(out[j]); d < best {
+						best = d
+					}
+				}
+			}
+			minD[i] = best
+		}
+		evaluated.Add(local)
+	})
+	return evaluated.Load()
+}
+
+// prunedMins is the landmark-ordered, bound-pruned evaluation described
+// in the package comment. It produces exactly the minima of naiveMins.
+func prunedMins(inst scheme.Instance, x, y []int32, lm landmarks, minD []float64, workers int) int64 {
+	g := inst.Graph()
+
+	// Y sorted ascending by (key₁, id): the expansion order. Infinite
+	// keys (nodes unreachable from the landmark) sort last.
+	ynodes := append([]int32(nil), y...)
+	sort.Slice(ynodes, func(i, j int) bool {
+		ki, kj := lm.key1[ynodes[i]], lm.key1[ynodes[j]]
+		if ki != kj {
+			return ki < kj
+		}
+		return ynodes[i] < ynodes[j]
+	})
+	ykeys1 := make([]graph.Weight, len(ynodes))
+	yaux := make([][]graph.Weight, len(lm.aux))
+	for i, v := range ynodes {
+		ykeys1[i] = lm.key1[v]
+	}
+	for j, key := range lm.aux {
+		yaux[j] = make([]graph.Weight, len(ynodes))
+		for i, v := range ynodes {
+			yaux[j][i] = key[v]
+		}
+	}
+	inY := make([]bool, g.N())
+	for _, v := range y {
+		inY[v] = true
+	}
+
+	var evaluated atomic.Int64
+	fanOut(len(x), workers, func(lo, hi int) {
+		var qs [evalChunk]oracle.Query
+		var out [evalChunk]oracle.Answer
+		var local int64
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			if inY[xi] {
+				minD[i] = 0 // xi ∈ Y: the self match wins outright
+				continue
+			}
+			ka1 := lm.key1[xi]
+			var kaux [maxAuxLandmarks]graph.Weight
+			for j, key := range lm.aux {
+				kaux[j] = key[xi]
+			}
+			// First candidate position: the smallest key₁ ≥ key₁(xi).
+			// The two pointers expand outward from it, so candidates
+			// arrive in nondecreasing key₁-bound order per side.
+			up := sort.Search(len(ykeys1), func(j int) bool { return ykeys1[j] >= ka1 })
+			down := up - 1
+			best := math.Inf(1)
+			// The flush size starts tiny and doubles: the first flush runs
+			// with best = +Inf (nothing can be pruned yet), so it should
+			// carry as few candidates as possible — they are the
+			// nearest-by-key ones and set a tight best for everything
+			// after.
+			limit := 2
+			for {
+				k := 0
+				for k < limit {
+					lbUp, lbDown := math.Inf(1), math.Inf(1)
+					if up < len(ykeys1) {
+						lbUp = lowerBound(ka1, ykeys1[up])
+					}
+					if down >= 0 {
+						lbDown = lowerBound(ka1, ykeys1[down])
+					}
+					// A side whose key₁ bound reached the running best is
+					// done: every remaining candidate on it bounds at
+					// least as high.
+					if lbUp >= best {
+						up = len(ykeys1)
+						lbUp = math.Inf(1)
+					}
+					if lbDown >= best {
+						down = -1
+						lbDown = math.Inf(1)
+					}
+					if up >= len(ykeys1) && down < 0 {
+						break
+					}
+					var pick int
+					if lbUp <= lbDown {
+						pick = up
+						up++
+					} else {
+						pick = down
+						down--
+					}
+					// The auxiliary landmarks skip individual candidates
+					// the expansion order cannot: key₁-equidistant nodes
+					// on opposite sides of the graph have very different
+					// auxiliary keys.
+					skipped := false
+					for j := range lm.aux {
+						if lowerBound(kaux[j], yaux[j][pick]) >= best {
+							skipped = true
+							break
+						}
+					}
+					if skipped {
+						continue
+					}
+					qs[k] = oracle.Query{V: xi, S: ynodes[pick]}
+					k++
+				}
+				if k == 0 {
+					break
+				}
+				inst.AnswerInto(qs[:k], out[:k], 1)
+				local += int64(k)
+				for j := 0; j < k; j++ {
+					if d := estimate(out[j]); d < best {
+						best = d
+					}
+				}
+				if limit < evalChunk {
+					limit *= 2
+				}
+			}
+			minD[i] = best
+		}
+		evaluated.Add(local)
+	})
+	return evaluated.Load()
+}
+
+// maxAuxLandmarks bounds the auxiliary (skip-filter) landmark count: the
+// first landmark orders the expansion, the auxiliaries only veto
+// candidates, and each one costs one more exact Dijkstra per Eval.
+const maxAuxLandmarks = 3
+
+// landmarks are the exact-Dijkstra key vectors every pruned evaluation
+// shares across both directions: key[v] = d(c, v), Infinity where
+// unreachable. key1's landmark orders the candidate expansion; the aux
+// landmarks' bounds veto individual candidates.
+type landmarks struct {
+	key1 []graph.Weight
+	aux  [][]graph.Weight
+}
+
+// newLandmarks picks the landmark set by farthest-point traversal: c₁ is
+// B's first member (a node certain to be near the candidate mass of at
+// least one direction), then each auxiliary landmark is the node
+// maximizing the minimum distance to the landmarks picked so far
+// (smallest id on ties) — maximally spread, so the key differences bound
+// distances along roughly orthogonal directions of the graph.
+func newLandmarks(g *graph.Graph, b []int32) landmarks {
+	c1 := int(b[0])
+	sp1 := graph.Dijkstra(g, c1)
+	lm := landmarks{key1: sp1.Dist}
+	minDist := append([]graph.Weight(nil), sp1.Dist...)
+	for len(lm.aux) < maxAuxLandmarks {
+		c, far := c1, graph.Weight(0)
+		for v, d := range minDist {
+			if d != graph.Infinity && d > far {
+				far, c = d, v
+			}
+		}
+		if c == c1 {
+			// Every node is at distance 0 from a chosen landmark (or
+			// unreachable): further landmarks add no information.
+			break
+		}
+		sp := graph.Dijkstra(g, c)
+		lm.aux = append(lm.aux, sp.Dist)
+		for v, d := range sp.Dist {
+			if d < minDist[v] {
+				minDist[v] = d
+			}
+		}
+	}
+	return lm
+}
+
+// lowerBound is the triangle-inequality bound on the true distance
+// between nodes with landmark keys ka and kb: d(a, b) ≥ |ka − kb| when
+// both are reachable from the landmark. With exactly one side
+// unreachable the nodes lie in different components (the graph is
+// undirected), so the distance — and any scheme estimate — is +Inf;
+// with both unreachable nothing is known and the bound is 0.
+func lowerBound(ka, kb graph.Weight) float64 {
+	if ka == graph.Infinity || kb == graph.Infinity {
+		if ka == kb {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	d := ka - kb
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// fanOut splits [0, total) across workers goroutines (0 = GOMAXPROCS,
+// 1 = sequential). Chunks are independent, so results are identical at
+// any width.
+func fanOut(total, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		fn(0, total)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (total + workers - 1) / workers
+	for lo := 0; lo < total; lo += chunk {
+		hi := min(lo+chunk, total)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
