@@ -1,0 +1,152 @@
+package main_test
+
+// End-to-end test of the pde-vet driver: build the real binary, run it
+// over the fixture module in testdata/fixturemod — which plants exactly
+// six violations (two determinism, one atomicswap, one errenvelope, one
+// wireframe, one infconvention) plus one //pde:allow-suppressed case —
+// and assert the exit status, the diagnostic count and the suppression
+// behavior in both standalone and `go vet -vettool` modes.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const wantFindings = 6
+
+var analyzerNames = []string{"atomicswap", "determinism", "errenvelope", "infconvention", "wireframe"}
+
+// buildVet compiles the pde-vet binary once per test process.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pde-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building pde-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "fixturemod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// diagLines filters process output down to diagnostic lines (one per
+// finding, "<pos>: <analyzer>: <message>").
+func diagLines(out string) []string {
+	rx := regexp.MustCompile(`\.go:\d+:\d+: (` + strings.Join(analyzerNames, "|") + `):`)
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if rx.MatchString(l) {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+func TestStandaloneOverFixtureModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and loads a module")
+	}
+	bin := buildVet(t)
+
+	cmd := exec.Command(bin, "-C", fixtureDir(t), "./...")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit status 1 on findings, got %v\n%s", err, out)
+	}
+	diags := diagLines(string(out))
+	if len(diags) != wantFindings {
+		t.Errorf("want %d findings, got %d:\n%s", wantFindings, len(diags), out)
+	}
+	for _, name := range analyzerNames {
+		if !strings.Contains(string(out), " "+name+": ") {
+			t.Errorf("no %s finding in output:\n%s", name, out)
+		}
+	}
+	if strings.Contains(string(out), "Names") || strings.Contains(string(out), "suppressed") {
+		t.Errorf("suppressed finding leaked into default output:\n%s", out)
+	}
+}
+
+func TestStandaloneShowAllowed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and loads a module")
+	}
+	bin := buildVet(t)
+
+	cmd := exec.Command(bin, "-C", fixtureDir(t), "-show-allowed", "./...")
+	out, _ := cmd.CombinedOutput()
+	diags := diagLines(string(out))
+	if len(diags) != wantFindings+1 {
+		t.Errorf("-show-allowed: want %d lines (findings + 1 suppressed), got %d:\n%s",
+			wantFindings+1, len(diags), out)
+	}
+	suppressed := 0
+	for _, l := range diags {
+		if strings.Contains(l, "suppressed by //pde:allow") {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("want exactly 1 suppressed finding, got %d:\n%s", suppressed, out)
+	}
+}
+
+func TestVettoolProtocolOverFixtureModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go vet over a module")
+	}
+	bin := buildVet(t)
+	dir := fixtureDir(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	// An isolated GOFLAGS keeps a host -mod/-tags setting from leaking
+	// into the fixture build.
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool must fail on the fixture, got success:\n%s", out)
+	}
+	diags := diagLines(string(out))
+	if len(diags) != wantFindings {
+		t.Errorf("want %d findings through the vettool protocol, got %d:\n%s",
+			wantFindings, len(diags), out)
+	}
+	for _, name := range analyzerNames {
+		if !strings.Contains(string(out), " "+name+": ") {
+			t.Errorf("no %s finding in go vet output:\n%s", name, out)
+		}
+	}
+	// The suppressed fixture case must not surface through go vet either.
+	if strings.Contains(string(out), "build.go:29") {
+		t.Errorf("//pde:allow line reported through the vettool protocol:\n%s", out)
+	}
+}
+
+func TestVersionProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildVet(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact shape cmd/go's toolID parser accepts for unreleased
+	// tools: "<name> version devel ... buildID=<hex>".
+	if !regexp.MustCompile(`^pde-vet version devel .*buildID=[0-9a-f]+\n$`).Match(out) {
+		t.Errorf("-V=full output %q does not match cmd/go's expected shape", out)
+	}
+}

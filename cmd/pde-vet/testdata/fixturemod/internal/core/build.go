@@ -1,0 +1,33 @@
+// Package core is a fixture "build" package: its import path ends in
+// internal/core, so the determinism analyzer is in scope.
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Combine collects map values in iteration order — a determinism
+// violation (no sort follows).
+func Combine(m map[int32]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m { // finding 1: determinism (append in map range)
+		out = append(out, v)
+	}
+	return out
+}
+
+// Stamp reads the wall clock in build code — a determinism violation.
+func Stamp() int64 {
+	return time.Now().UnixNano() // finding 2: determinism (time.Now)
+}
+
+// Names demonstrates the escape hatch: suppressed, not a finding.
+func Names(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //pde:allow(determinism) sort.Strings below imposes a total order
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,31 @@
+// Package server is a fixture serving package: its import path ends in
+// internal/server, so the errenvelope analyzer is in scope (atomicswap
+// applies module-wide).
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+type table struct{ gen int }
+
+// Shard publishes its table through an atomic pointer.
+type Shard struct {
+	ptr atomic.Pointer[table]
+}
+
+// Current is the blessed access shape: no finding.
+func (s *Shard) Current() *table { return s.ptr.Load() }
+
+// Leak copies the atomic pointer out from under the swap discipline —
+// an atomicswap violation.
+func Leak(s *Shard) atomic.Pointer[table] {
+	return s.ptr // finding 3: atomicswap
+}
+
+// Handle rejects a request with http.Error instead of the envelope —
+// an errenvelope violation.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "no such shard", http.StatusNotFound) // finding 4: errenvelope
+}

@@ -1,0 +1,18 @@
+// Package wire is a fixture codec package for the module-wide wireframe
+// and infconvention analyzers.
+package wire
+
+// Record declares the wrong packed size (fields total 12 bytes) — a
+// wireframe violation.
+//
+//pde:wire size=16
+type Record struct { // finding 5: wireframe
+	ID   int32
+	Dist float64
+}
+
+// Unreachable tests a float distance against a -1 sentinel — an
+// infconvention violation.
+func Unreachable(d float64) bool {
+	return d == -1 // finding 6: infconvention
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"pde/internal/analysis"
+)
+
+// vetConfig is the JSON file cmd/go hands a -vettool for each package —
+// the same schema golang.org/x/tools/go/analysis/unitchecker consumes.
+// Only the fields pde-vet needs are declared; unknown fields are
+// ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile and returns
+// the process exit code: 0 clean, 2 findings (the unitchecker
+// convention; cmd/go surfaces the tool's output whenever it exits
+// non-zero).
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pde-vet: reading config: %v\n", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pde-vet: parsing %s: %v\n", cfgFile, err)
+		return 3
+	}
+
+	// cmd/go requires the facts output file to exist even though the
+	// pde-vet analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pde-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pde-vet: writing facts: %v\n", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "pde-vet: %v\n", err)
+			return 3
+		}
+		files = append(files, af)
+	}
+
+	// Dependencies come from the export data cmd/go already built; the
+	// stdlib gc importer reads it given a lookup into cfg.PackageFile.
+	imp := &exportDataImporter{cfg: &cfg, fset: fset}
+	tpkg, info, errs := analysis.TypeCheckFiles(fset, cfg.ImportPath, files, imp, true)
+	if len(errs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "pde-vet: %v\n", e)
+		}
+		return 3
+	}
+
+	diags := analysis.RunAnalyzers(analysis.All(), fset, cfg.ImportPath, files, tpkg, info)
+	exit := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		exit = 2
+	}
+	return exit
+}
+
+// exportDataImporter resolves imports through the gc export-data files
+// listed in the vet config, memoizing via the shared gc importer.
+type exportDataImporter struct {
+	cfg  *vetConfig
+	fset *token.FileSet
+	gc   types.ImporterFrom
+}
+
+func (e *exportDataImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e.gc == nil {
+		lookup := func(p string) (io.ReadCloser, error) {
+			file, ok := e.cfg.PackageFile[p]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(file)
+		}
+		e.gc = importer.ForCompiler(e.fset, "gc", lookup).(types.ImporterFrom)
+	}
+	return e.gc.ImportFrom(path, e.cfg.Dir, 0)
+}

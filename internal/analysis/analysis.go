@@ -1,0 +1,249 @@
+// Package analysis is the repo's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, diagnostics) plus the five pde-vet analyzers
+// that mechanically enforce the coding invariants every differential
+// test in this repo otherwise only samples:
+//
+//   - determinism:    no map-iteration order, wall clocks or unseeded
+//     randomness feeding the deterministic build outputs
+//   - atomicswap:     hot-swapped tables are touched only through their
+//     atomic.Pointer methods
+//   - wireframe:      binary codec records use fixed-width fields and
+//     their declared byte sizes match the field layout
+//   - infconvention:  unreachable distances are math.Inf(1), never a
+//     negative sentinel
+//   - errenvelope:    HTTP handlers emit errors only through the shared
+//     {"error":{code,message}} envelope helper
+//
+// The suite runs from cmd/pde-vet both standalone (pde-vet ./...) and as
+// a `go vet -vettool` backend. It is stdlib-only by design: the build
+// environment has no module proxy, so the x/tools analysis framework is
+// out of reach and this package carries the minimal slice of it the five
+// analyzers need.
+//
+// # Escape hatch
+//
+// A diagnostic is suppressed by a //pde:allow(<analyzer>) comment on the
+// flagged line or on the line directly above it. Every allow is expected
+// to carry a justification; docs/analysis.md catalogues the syntax and
+// the audited allows in the tree. Suppressed findings are still counted
+// (Diagnostic.Suppressed) so the driver can list them with -show-allowed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check. The zero Scope means the
+// analyzer applies to every package it is run over; otherwise Scope
+// gates on the package import path (suffix-matched, so the same rule
+// fires for pde/internal/core and for a fixture module's internal/core).
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Scope func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow allowIndex
+	sink  *[]Diagnostic
+}
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks findings matched by a //pde:allow comment; the
+	// driver skips them when deciding the exit status but can list them.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	if d.Suppressed {
+		s += " (suppressed by //pde:allow)"
+	}
+	return s
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Reportf records a finding at pos, applying //pde:allow suppression.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if p.allow.allows(position.Filename, position.Line, p.Analyzer.Name) {
+		d.Suppressed = true
+	}
+	*p.sink = append(*p.sink, d)
+}
+
+// allowRx matches the escape hatch: //pde:allow(name) or
+// //pde:allow(name1,name2). Anything after the closing paren is the
+// justification and is free-form.
+var allowRx = regexp.MustCompile(`pde:allow\(([A-Za-z0-9_, ]+)\)`)
+
+// allowIndex maps file → line → set of analyzer names allowed there.
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) allows(file string, line int, analyzer string) bool {
+	lines := ai[file]
+	if lines == nil {
+		return false
+	}
+	// The allow may sit on the flagged line itself or directly above it.
+	for _, l := range [2]int{line, line - 1} {
+		if set := lines[l]; set != nil && (set[analyzer] || set["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ai[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ai[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					set[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return ai
+}
+
+// RunAnalyzers applies every in-scope analyzer to pkg and returns the
+// findings (suppressed ones included, flagged as such) sorted by
+// position. pkgPath is the import path used for scope decisions; go
+// vet's test-variant suffix ("pkg [pkg.test]") is stripped first.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, pkgPath string, files []*ast.File, tpkg *types.Package, info *types.Info) []Diagnostic {
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	// Shipped-code invariants: test files are exempt (they measure wall
+	// clocks, drive randomness and poke internals on purpose).
+	var nonTest []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	if len(nonTest) == 0 {
+		return nil
+	}
+	allow := buildAllowIndex(fset, nonTest)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Scope != nil && !a.Scope(pkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    nonTest,
+			Pkg:      tpkg,
+			Info:     info,
+			allow:    allow,
+			sink:     &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// scopeSuffix builds a Scope predicate matching import paths that end in
+// (or contain, as a path segment prefix) one of the given suffixes —
+// "internal/core" matches both "pde/internal/core" and
+// "vetfixture/internal/core/sub".
+func scopeSuffix(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if path == s || strings.HasSuffix(path, "/"+s) ||
+				strings.Contains(path, "/"+s+"/") || strings.HasPrefix(path, s+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// inspectStack walks every file, calling fn with each node and the stack
+// of its ancestors (outermost first, not including n itself). Returning
+// false prunes the subtree.
+func inspectStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			ok := fn(n, stack)
+			if ok {
+				stack = append(stack, n)
+			}
+			return ok
+		})
+	}
+}
+
+// pkgPathOf returns the import path of the package an object belongs to,
+// or "" for builtins and universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

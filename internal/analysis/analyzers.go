@@ -1,0 +1,22 @@
+package analysis
+
+// All returns the full pde-vet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicSwap,
+		Determinism,
+		ErrEnvelope,
+		InfConvention,
+		WireFrame,
+	}
+}
+
+// ByName resolves a comma-separable analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

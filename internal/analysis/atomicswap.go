@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicSwap enforces the hot-swap discipline of the serving layer: a
+// struct field whose type comes from sync/atomic (atomic.Pointer[T],
+// atomic.Value, atomic.Int64, ...) is a publication point — internal/
+// server swaps whole shard tables through one such pointer, and readers
+// that touch the field any way other than through its atomic methods
+// (Load/Store/Swap/CompareAndSwap/Add/And/Or) can observe a torn value
+// or silently copy the synchronization state. Any other use of the
+// field — copying it, taking its address to pass along, comparing it —
+// is an error.
+//
+// The rule is module-wide: it costs nothing outside internal/server
+// (fields of atomic type are rare) and means a future package adopting
+// the hot-swap pattern inherits the proof automatically.
+var AtomicSwap = &Analyzer{
+	Name: "atomicswap",
+	Doc: "fields of sync/atomic type may only be accessed through their " +
+		"atomic methods",
+	Run: runAtomicSwap,
+}
+
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+	"Add": true, "And": true, "Or": true,
+}
+
+func runAtomicSwap(pass *Pass) {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if !isAtomicType(selection.Type()) {
+			return true
+		}
+		// The only blessed shape: the selector is immediately the
+		// receiver of an atomic method — x.field.Load(...), including a
+		// method-value bind (f := x.field.Load), which still goes
+		// through the pointer.
+		if len(stack) > 0 {
+			if parent, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok &&
+				parent.X == sel && atomicMethods[parent.Sel.Name] {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s has atomic type %s and may only be accessed via its Load/Store/Swap/CompareAndSwap methods (direct access can tear or copy the synchronization state)",
+			sel.Sel.Name, selection.Type())
+		return true
+	})
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (including instantiated atomic.Pointer[T]).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return pkgPathOf(named.Obj()) == "sync/atomic"
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the bit-identical-build invariant of the PDE
+// construction packages (internal/core, internal/congest,
+// internal/scheme): everything that feeds core.Result — and therefore
+// Result.Fingerprint, which the parallel build pipeline and the CI bench
+// regression guard compare runs by — must be a pure function of the
+// spec and seed.
+//
+// Three rules, in build code only (test files are exempt):
+//
+//  1. `range` over a map whose body writes an order-sensitive sink
+//     (append, a slice/array element store, a fingerprint or hash write,
+//     a channel send). Go randomizes map iteration order per run, so
+//     such a loop produces run-dependent output unless the sink is
+//     provably re-ordered afterwards — in which case the loop carries a
+//     //pde:allow(determinism) with that argument.
+//  2. time.Now. Wall clocks in build code leak scheduling into results;
+//     timing metadata that is deliberately non-deterministic (BuildNS)
+//     is annotated.
+//  3. The global math/rand source (rand.Intn, rand.Shuffle, ...). All
+//     build randomness flows from rand.New(rand.NewSource(seed)) so the
+//     same spec replays the same stream.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags map-iteration order, wall clocks and unseeded randomness " +
+		"feeding the deterministic build outputs",
+	Scope: scopeSuffix("internal/core", "internal/congest", "internal/scheme"),
+	Run:   runDeterminism,
+}
+
+// globalRandConstructors are the math/rand functions that do NOT draw
+// from the package-level source and are therefore fine in build code.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := orderSensitiveSink(pass, n.Body); sink != "" {
+				pass.Reportf(n.For,
+					"map iteration feeds an order-sensitive sink (%s); iterate a sorted key slice, or //pde:allow(determinism) with a proof the order cannot be observed",
+					sink)
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil {
+				return true
+			}
+			switch pkgPathOf(fn) {
+			case "time":
+				if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(n.Pos(),
+						"time.Now in deterministic build code: results must be a pure function of spec and seed (//pde:allow(determinism) for timing metadata)")
+				}
+			case "math/rand", "math/rand/v2":
+				sig := fn.Type().(*types.Signature)
+				if sig.Recv() == nil && !globalRandConstructors[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"%s draws from the unseeded global source; build randomness must come from rand.New(rand.NewSource(seed))",
+						fn.FullName())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// orderSensitiveSink scans a map-range body and names the first
+// construct whose result depends on iteration order, or returns "".
+func orderSensitiveSink(pass *Pass, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "channel send"
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					sink = "append"
+					return false
+				}
+			}
+			if fn := calleeFunc(pass, n); fn != nil && fn.Type().(*types.Signature).Recv() != nil {
+				switch pkgPathOf(fn) {
+				case "pde/internal/fingerprint", "hash", "hash/fnv", "hash/maphash":
+					sink = "fingerprint/hash write (" + fn.Name() + ")"
+					return false
+				}
+				if fn.Name() == "Write" || fn.Name() == "Sum" {
+					sink = "hash/stream write (" + fn.Name() + ")"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				switch pass.TypeOf(ix.X).Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Pointer:
+					sink = "slice element store"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// calleeFunc resolves a call's callee to a *types.Func (package function
+// or method), or nil for builtins, type conversions and func values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

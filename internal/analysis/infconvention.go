@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// InfConvention enforces the unreachable-distance convention shared by
+// every layer of the repo (graph.Stretch, the oracle, the schemes, the
+// setdist pruning proofs, the PDSA raw-IEEE wire frames): an unreachable
+// pair has estimated distance math.Inf(1), checked with math.IsInf —
+// never a negative sentinel. A `dist == -1` or `dist < -0.5` creeping in
+// silently breaks the setdist lower-bound soundness argument (which
+// relies on estimates never undershooting the true distance) and the
+// finite-flag JSON envelope.
+//
+// The rule is type-directed: it flags comparisons of a float-typed
+// expression against a strictly negative constant, module-wide. Integer
+// id sentinels (Via == -1, hop indices) are integer-typed and exempt —
+// the convention is about distances, and distances are float64.
+var InfConvention = &Analyzer{
+	Name: "infconvention",
+	Doc: "unreachable distances are math.Inf(1) (math.IsInf), never a " +
+		"negative float sentinel",
+	Run: runInfConvention,
+}
+
+func runInfConvention(pass *Pass) {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op.String()) {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			expr, other := pair[0], pair[1]
+			if !isFloat(pass.TypeOf(expr)) {
+				continue
+			}
+			tv, ok := pass.Info.Types[other]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if constant.Sign(tv.Value) < 0 {
+				pass.Reportf(be.OpPos,
+					"float compared against negative sentinel %s: unreachable distances are math.Inf(1), test with math.IsInf(d, 1)",
+					tv.Value)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the atomicswap analyzer: fields of
+// sync/atomic type may only be touched through their atomic methods.
+package fixture
+
+import "sync/atomic"
+
+type table struct{ gen int }
+
+type holder struct {
+	ptr  atomic.Pointer[table]
+	hits atomic.Int64
+	val  atomic.Value
+	gen  int
+}
+
+// Negative: the blessed access shapes.
+func load(h *holder) *table        { return h.ptr.Load() }
+func store(h *holder, t *table)    { h.ptr.Store(t) }
+func swap(h *holder, t *table)     { h.ptr.Swap(t) }
+func cas(h *holder, o, n *table)   { h.ptr.CompareAndSwap(o, n) }
+func count(h *holder)              { h.hits.Add(1) }
+func valLoad(h *holder) any        { return h.val.Load() }
+func plainField(h *holder) int     { return h.gen }
+func methodValue(h *holder) *table { f := h.ptr.Load; return f() }
+
+// Positive: copying the pointer out from under the swap discipline.
+func copyOut(h *holder) atomic.Pointer[table] {
+	return h.ptr // want `field ptr has atomic type`
+}
+
+// Positive: leaking the address for someone else to touch directly.
+func addrOut(h *holder) *atomic.Pointer[table] {
+	return &h.ptr // want `field ptr has atomic type`
+}
+
+// Positive: even a counter field must go through its methods.
+func rawCounter(h *holder) atomic.Int64 {
+	return h.hits // want `field hits has atomic type`
+}

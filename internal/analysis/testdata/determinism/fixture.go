@@ -1,0 +1,89 @@
+// Package fixture exercises the determinism analyzer: map-iteration
+// order feeding ordered sinks, wall clocks, and unseeded randomness in
+// build code.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"pde/internal/fingerprint"
+)
+
+// Positive: append inside a map range is order-sensitive.
+func mapRangeAppend(m map[int32]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m { // want `map iteration feeds an order-sensitive sink \(append\)`
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Positive: hashing in map order makes the fingerprint run-dependent.
+func mapRangeFingerprint(m map[int]int64) uint64 {
+	f := fingerprint.New()
+	for _, v := range m { // want `fingerprint/hash write`
+		f.I64(v)
+	}
+	return f.Sum()
+}
+
+// Positive: slice element stores are an ordered sink (conservatively
+// flagged even when the indices happen to be unique).
+func mapRangeStore(m map[int]int, out []int) {
+	for k, v := range m { // want `slice element store`
+		out[k] = v
+	}
+}
+
+// Positive: wall clock in build code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic build code`
+}
+
+// Positive: the global math/rand source is unseeded.
+func unseeded() int {
+	return rand.Intn(4) // want `draws from the unseeded global source`
+}
+
+// Negative: commutative accumulation is order-insensitive.
+func mapRangeCount(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Negative: writes into another map are order-insensitive.
+func mapRangeInvert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Negative: explicitly seeded stream.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Negative: time.Duration arithmetic without a wall-clock read.
+func budget(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Suppressed: the escape hatch with a justification.
+func allowed(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//pde:allow(determinism) caller sorts; order is not observable
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

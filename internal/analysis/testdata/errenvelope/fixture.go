@@ -1,0 +1,47 @@
+// Package fixture exercises the errenvelope analyzer: HTTP errors in
+// the serving package go through the shared envelope helper only.
+package fixture
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Suppressed: the envelope helper performs the one legitimate
+// WriteHeader in the package.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	var e envelope
+	e.Error.Code, e.Error.Message = code, msg
+	w.WriteHeader(status) //pde:allow(errenvelope) the envelope helper's own status write
+	json.NewEncoder(w).Encode(e)
+}
+
+// Positive: http.Error hands the client a text/plain body no client of
+// this daemon can parse.
+func badError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "no such shard", http.StatusNotFound) // want `http\.Error bypasses`
+}
+
+// Positive: a bare error status with no envelope body.
+func badHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError) // want `bare WriteHeader`
+}
+
+// Negative: success paths write bodies without touching WriteHeader.
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{}"))
+}
+
+// Negative: routed through the helper.
+func okError(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest, "bad_request", "malformed body")
+}

@@ -1,0 +1,54 @@
+// Package fixture exercises the infconvention analyzer: unreachable
+// distances are math.Inf(1), never a negative float sentinel.
+package fixture
+
+import "math"
+
+// Positive: the classic -1 sentinel on a float distance.
+func isUnreachableEq(d float64) bool {
+	return d == -1 // want `negative sentinel`
+}
+
+// Positive: range tests against negative constants are the same bug.
+func isUnreachableLess(d float64) bool {
+	return d < -0.5 // want `negative sentinel`
+}
+
+// Positive: != on the sentinel, operands reversed.
+func isReachable(d float64) bool {
+	return -1 != d // want `negative sentinel`
+}
+
+// Positive: float32 distances follow the same convention.
+func isUnreachable32(d float32) bool {
+	return d <= -1 // want `negative sentinel`
+}
+
+// Negative: the convention itself.
+func unreachable(d float64) bool {
+	return math.IsInf(d, 1)
+}
+
+// Negative: integer id sentinels (Via == -1, skeleton indices) are not
+// distances.
+type id int32
+
+func noVia(v id) bool    { return v == -1 }
+func noIndex(i int) bool { return i < 0 }
+
+// Negative: sign tests against zero are arithmetic, not sentinels.
+func abs(d float64) float64 {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Suppressed: the JSON layer converts +Inf to -1 on the wire (JSON has
+// no Inf literal) and converts it back under a finite flag.
+func fromWire(d float64) float64 {
+	if d == -1 { //pde:allow(infconvention) JSON wire sentinel, guarded by the finite flag
+		return math.Inf(1)
+	}
+	return d
+}

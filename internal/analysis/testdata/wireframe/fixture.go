@@ -1,0 +1,73 @@
+// Package fixture exercises the wireframe analyzer: codec structs carry
+// fixed-width fields and a size marker matching their packed layout.
+package fixture
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Negative: fixed-width fields, correct declared size (4+8 = 12).
+//
+//pde:wire size=12
+type goodRecord struct {
+	ID   int32
+	Dist float64
+}
+
+// Negative: nested wire struct and array, 12+1+16 = 29.
+//
+//pde:wire size=29
+type goodNested struct {
+	Rec  goodRecord
+	OK   bool
+	Pads [4]uint32
+}
+
+// Positive: declared size disagrees with the packed field total.
+//
+//pde:wire size=8
+type wrongSize struct { // want `declares size=8 but its fields pack to 12`
+	ID   int32
+	Dist float64
+}
+
+// Positive: platform-width int has no place in a wire frame.
+//
+//pde:wire size=16
+type hasInt struct { // want `field Count \(int\) is not fixed-width`
+	Count int
+	Dist  float64
+}
+
+// Positive: strings are variable-width.
+//
+//pde:wire size=4
+type hasString struct { // want `field Name \(string\) is not fixed-width`
+	Name string
+}
+
+type unmarked struct {
+	Count int
+}
+
+// Positive: even unmarked structs are checked at encoding/binary call
+// sites.
+func encodeUnmarked(buf *bytes.Buffer, u unmarked) error {
+	return binary.Write(buf, binary.LittleEndian, u) // want `non-fixed-width component Count`
+}
+
+// Negative: fixed-width struct through binary.Write (pointer form).
+func encodeGood(buf *bytes.Buffer, g *goodRecord) error {
+	return binary.Write(buf, binary.LittleEndian, g)
+}
+
+// Negative: slices of fixed-width records are fine.
+func encodeSlice(buf *bytes.Buffer, gs []goodRecord) error {
+	return binary.Write(buf, binary.LittleEndian, gs)
+}
+
+// Positive: binary.Size on a non-fixed-width value.
+func sizeOf(u unmarked) int {
+	return binary.Size(u) // want `non-fixed-width component Count`
+}

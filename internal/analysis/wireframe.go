@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// WireFrame enforces the binary codec's layout contract. The serving
+// layer's PDEQ/PDEA/PDEH/PDSQ/PDSA frames are hand-packed fixed-width
+// little-endian records; the structs that cross that boundary
+// (oracle.Query, oracle.Answer/core.Estimate, server.Hop,
+// setdist.Aggregates, setdist.Result) are marked
+//
+//	//pde:wire size=<bytes>
+//
+// and the analyzer proves, at vet time, that
+//
+//  1. every field (recursively, through embedded structs and arrays) is
+//     a fixed-width type — bool/int8..64/uint8..64/float32/64 — never
+//     int, uint, uintptr, string, a slice, a map or a pointer, whose
+//     width would depend on platform or heap; and
+//  2. the declared size equals the packed field total (the same number
+//     encoding/binary.Size computes), so the record-size constants the
+//     codec's length-prefix validation trusts cannot drift from the
+//     struct layout.
+//
+// Independent of markers, any struct value passed to encoding/binary
+// Read/Write/Size must itself satisfy the fixed-width rule, so an
+// unmarked codec struct with an `int` field is caught at its use site.
+var WireFrame = &Analyzer{
+	Name: "wireframe",
+	Doc: "wire-codec structs must use fixed-width field types and declare " +
+		"their exact packed byte size",
+	Run: runWireFrame,
+}
+
+var wireMarkRx = regexp.MustCompile(`pde:wire\s+size=(\d+)`)
+
+func runWireFrame(pass *Pass) {
+	// Marked struct declarations.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				declared, marked := wireMarker(gd, ts)
+				if !marked {
+					continue
+				}
+				st := pass.TypeOf(ts.Type)
+				if st == nil {
+					continue
+				}
+				checkWireStruct(pass, ts.Name.Pos(), ts.Name.Name, st, declared)
+			}
+		}
+	}
+
+	// encoding/binary call sites.
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || pkgPathOf(fn) != "encoding/binary" {
+			return true
+		}
+		var data ast.Expr
+		switch fn.Name() {
+		case "Read", "Write":
+			if len(call.Args) == 3 {
+				data = call.Args[2]
+			}
+		case "Size":
+			if len(call.Args) == 1 {
+				data = call.Args[0]
+			}
+		default:
+			return true
+		}
+		if data == nil {
+			return true
+		}
+		t := pass.TypeOf(data)
+		if t == nil {
+			return true
+		}
+		// binary.* accepts a value, a pointer to one, or a slice of them.
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		}
+		if bad := firstNonWireField(t, ""); bad != "" {
+			pass.Reportf(data.Pos(),
+				"value of type %s passed to binary.%s has non-fixed-width component %s; wire data uses int32/int64/uint*/float64, never int",
+				t, fn.Name(), bad)
+		}
+		return true
+	})
+}
+
+// wireMarker extracts the //pde:wire size=N marker from the type's doc
+// or trailing comment (checking the enclosing GenDecl too, where the doc
+// lands for single-spec declarations).
+func wireMarker(gd *ast.GenDecl, ts *ast.TypeSpec) (size int, ok bool) {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := wireMarkRx.FindStringSubmatch(c.Text); m != nil {
+				n, err := strconv.Atoi(m[1])
+				if err == nil {
+					return n, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+func checkWireStruct(pass *Pass, pos token.Pos, name string, t types.Type, declared int) {
+	if bad := firstNonWireField(t, ""); bad != "" {
+		pass.Reportf(pos,
+			"wire struct %s: field %s is not fixed-width; wire frames use int32/int64/uint*/float64, never int",
+			name, bad)
+		return
+	}
+	if got := wireSize(t); got != declared {
+		pass.Reportf(pos,
+			"wire struct %s declares size=%d but its fields pack to %d bytes (the codec's record-size constant must match binary.Size)",
+			name, declared, got)
+	}
+}
+
+// firstNonWireField returns a dotted path to the first component of t
+// that is not a fixed-width wire type, or "".
+func firstNonWireField(t types.Type, path string) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+			types.Float32, types.Float64:
+			return ""
+		}
+		return describe(path, t)
+	case *types.Array:
+		return firstNonWireField(u.Elem(), path+"[i]")
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			sub := path + "." + f.Name()
+			if path == "" {
+				sub = f.Name()
+			}
+			if bad := firstNonWireField(f.Type(), sub); bad != "" {
+				return bad
+			}
+		}
+		return ""
+	}
+	return describe(path, t)
+}
+
+func describe(path string, t types.Type) string {
+	if path == "" {
+		return fmt.Sprintf("(%s)", t)
+	}
+	return fmt.Sprintf("%s (%s)", path, t)
+}
+
+// wireSize is encoding/binary.Size for all-fixed-width types: packed,
+// no alignment padding.
+func wireSize(t types.Type) int {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.Int8, types.Uint8:
+			return 1
+		case types.Int16, types.Uint16:
+			return 2
+		case types.Int32, types.Uint32, types.Float32:
+			return 4
+		case types.Int64, types.Uint64, types.Float64:
+			return 8
+		}
+	case *types.Array:
+		return int(u.Len()) * wireSize(u.Elem())
+	case *types.Struct:
+		total := 0
+		for i := 0; i < u.NumFields(); i++ {
+			total += wireSize(u.Field(i).Type())
+		}
+		return total
+	}
+	return 0
+}

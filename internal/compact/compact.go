@@ -606,7 +606,7 @@ func (sch *Scheme) computePivots() error {
 	for l := 0; l < sch.K; l++ {
 		sch.BunchSize[l] = make([]int, n)
 		for v := 0; v < n; v++ {
-			var thrD float64 = math.Inf(1)
+			thrD := math.Inf(1)
 			var thrS int32 = math.MaxInt32
 			if l+1 < sch.K {
 				thrD = sch.PivotDist[l+1][v]

@@ -65,7 +65,11 @@ type Params struct {
 	SkipSetup bool
 }
 
-// Estimate is one entry of a node's PDE output list.
+// Estimate is one entry of a node's PDE output list. It is also the
+// payload of the serving layer's PDEA answer record (internal/server
+// codec), so every field is fixed-width.
+//
+//pde:wire size=21
 type Estimate struct {
 	// Dist is w̃d(v, Src) = b(i)·hd_i for the best instance i.
 	Dist float64
@@ -74,8 +78,9 @@ type Estimate struct {
 	// Via is the next hop toward Src (the real neighbor the best pair
 	// arrived from), or -1 when Src is the node itself.
 	Via int32
-	// Instance is the instance index achieving Dist.
-	Instance int
+	// Instance is the instance index achieving Dist (int32: this field
+	// crosses the binary codec).
+	Instance int32
 	// Flag carries the source's metadata bits.
 	Flag uint8
 }
@@ -140,7 +145,7 @@ func (r *Result) Estimate(v int, s int32) (Estimate, bool) {
 		}
 		d := float64(e.Dist) * inst.Base
 		if !found || d < best.Dist {
-			best = Estimate{Dist: d, Src: s, Via: e.Via, Instance: i, Flag: e.Flag}
+			best = Estimate{Dist: d, Src: s, Via: e.Via, Instance: int32(i), Flag: e.Flag}
 			found = true
 		}
 	}
@@ -383,12 +388,15 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 				d := float64(e.Dist) * inst.Base
 				cur, ok := best[e.Src]
 				if !ok || d < cur.Dist {
-					best[e.Src] = Estimate{Dist: d, Src: e.Src, Via: e.Via, Instance: i, Flag: e.Flag}
+					best[e.Src] = Estimate{Dist: d, Src: e.Src, Via: e.Via, Instance: int32(i), Flag: e.Flag}
 				}
 			}
 		}
 		lst := make([]Estimate, 0, len(best))
-		for _, e := range best {
+		// Iteration order cannot be observed: Src keys are unique and the
+		// sort below imposes a total (Dist, Src) order before anything
+		// reads lst.
+		for _, e := range best { //pde:allow(determinism) sorted with a total order immediately below
 			lst = append(lst, e)
 		}
 		sort.Slice(lst, func(a, b int) bool {

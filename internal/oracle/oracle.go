@@ -165,7 +165,7 @@ func (o *Oracle) at(k int64) core.Estimate {
 		Dist:     o.dists[k],
 		Src:      o.srcs[k],
 		Via:      o.vias[k],
-		Instance: int(o.insts[k]),
+		Instance: o.insts[k],
 		Flag:     o.flags[k],
 	}
 }

@@ -12,12 +12,17 @@ import (
 // int32 so a Query is exactly the wire record of the serving layer's
 // binary batch codec (internal/server) — no width conversion between a
 // decoded batch body and the oracle call.
+//
+//pde:wire size=8
 type Query struct {
 	V int32
 	S int32
 }
 
-// Answer is the result of one Query.
+// Answer is the result of one Query: the PDEA wire record (a fixed-width
+// core.Estimate plus the ok byte).
+//
+//pde:wire size=22
 type Answer struct {
 	Est core.Estimate
 	OK  bool

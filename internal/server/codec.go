@@ -9,8 +9,10 @@ import (
 	"pde/internal/setdist"
 )
 
-// Binary batch codec: the allocation-light alternative to the JSON bodies
-// for bulk traffic. Every frame is length-prefixed — a 4-byte magic, a
+// ContentTypeBinary selects the binary batch codec: the allocation-light
+// alternative to the JSON bodies for bulk traffic.
+//
+// Every frame is length-prefixed — a 4-byte magic, a
 // u32 record count, then count fixed-width little-endian records — so a
 // reader can validate the exact body size before touching a record and a
 // torn or truncated body is rejected, never partially decoded.
@@ -39,7 +41,7 @@ import (
 //
 // Requests carry the shard in the ?shard= query parameter; responses echo
 // the serving table's build fingerprint in the X-Pde-Fingerprint header.
-// ContentTypeBinary marks both directions.
+// The content type below marks both directions.
 const ContentTypeBinary = "application/x-pde-batch"
 
 const (
@@ -56,6 +58,8 @@ const (
 )
 
 // Hop is one next-hop answer (the JSON and binary wire record).
+//
+//pde:wire size=5
 type Hop struct {
 	Next int32 `json:"next"`
 	OK   bool  `json:"ok"`
@@ -118,7 +122,7 @@ func EncodeAnswers(answers []oracle.Answer) []byte {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(a.Est.Dist))
 		binary.LittleEndian.PutUint32(buf[off+8:], uint32(a.Est.Src))
 		binary.LittleEndian.PutUint32(buf[off+12:], uint32(a.Est.Via))
-		binary.LittleEndian.PutUint32(buf[off+16:], uint32(int32(a.Est.Instance)))
+		binary.LittleEndian.PutUint32(buf[off+16:], uint32(a.Est.Instance))
 		buf[off+20] = a.Est.Flag
 		if a.OK {
 			buf[off+21] = 1
@@ -139,7 +143,7 @@ func DecodeAnswers(data []byte) ([]oracle.Answer, error) {
 		answers[i].Est.Dist = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
 		answers[i].Est.Src = int32(binary.LittleEndian.Uint32(data[off+8:]))
 		answers[i].Est.Via = int32(binary.LittleEndian.Uint32(data[off+12:]))
-		answers[i].Est.Instance = int(int32(binary.LittleEndian.Uint32(data[off+16:])))
+		answers[i].Est.Instance = int32(binary.LittleEndian.Uint32(data[off+16:]))
 		answers[i].Est.Flag = data[off+20]
 		switch data[off+21] {
 		case 0:
@@ -226,8 +230,8 @@ func getAggregates(buf []byte) setdist.Aggregates {
 		Chamfer:     math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
 		Hausdorff:   math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
 		MeanMin:     math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
-		Members:     int(binary.LittleEndian.Uint32(buf[24:])),
-		Unreachable: int(binary.LittleEndian.Uint32(buf[28:])),
+		Members:     int32(binary.LittleEndian.Uint32(buf[24:])),
+		Unreachable: int32(binary.LittleEndian.Uint32(buf[28:])),
 	}
 }
 

@@ -172,7 +172,7 @@ func TestCodecRoundTrip(t *testing.T) {
 		answers[i].Est.Dist = float64(i) * 1.75
 		answers[i].Est.Src = int32(i * 5)
 		answers[i].Est.Via = int32(i - 9)
-		answers[i].Est.Instance = i % 7
+		answers[i].Est.Instance = int32(i % 7)
 		answers[i].Est.Flag = uint8(i % 4)
 		hops[i] = Hop{Next: int32(i - 3), OK: i%2 == 0}
 	}

@@ -214,7 +214,9 @@ type ErrorBody struct {
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
+	// This is the envelope helper itself: the one WriteHeader every
+	// error response in the package funnels through.
+	w.WriteHeader(status) //pde:allow(errenvelope) the envelope helper's own status write
 	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
@@ -288,7 +290,7 @@ type WireAnswer struct {
 	Dist     float64 `json:"dist"`
 	Src      int32   `json:"src"`
 	Via      int32   `json:"via"`
-	Instance int     `json:"instance"`
+	Instance int32   `json:"instance"`
 	Flag     uint8   `json:"flag"`
 }
 

@@ -29,8 +29,8 @@ type WireAggregates struct {
 	Hausdorff   float64 `json:"hausdorff"`
 	MeanMin     float64 `json:"mean_min"`
 	Finite      bool    `json:"finite"`
-	Members     int     `json:"members"`
-	Unreachable int     `json:"unreachable"`
+	Members     int32   `json:"members"`
+	Unreachable int32   `json:"unreachable"`
 }
 
 // SetDistResponse is the /v1/setdist JSON answer: both directed

@@ -83,6 +83,10 @@ type Options struct {
 // direction with any unreachable member reports +Inf Chamfer, Hausdorff
 // and MeanMin — the graph.Stretch convention: an unreachable baseline
 // poisons the aggregate rather than silently vanishing from it.
+// It is also half of the PDSA binary answer record (internal/server
+// codec), so every field is fixed-width.
+//
+//pde:wire size=32
 type Aggregates struct {
 	// Chamfer is Σ_{x∈X} min_{y∈Y} d̃(x, y), the (directed) Chamfer
 	// distance over the scheme's estimates.
@@ -92,11 +96,12 @@ type Aggregates struct {
 	Hausdorff float64
 	// MeanMin is Chamfer / |X|.
 	MeanMin float64
-	// Members is |X|, counting duplicates.
-	Members int
+	// Members is |X|, counting duplicates (int32: this field crosses
+	// the binary codec).
+	Members int32
 	// Unreachable counts members of X with no finite estimate to any
 	// member of Y.
-	Unreachable int
+	Unreachable int32
 }
 
 // Finite reports whether the direction's aggregates are finite (no
@@ -104,7 +109,11 @@ type Aggregates struct {
 func (a Aggregates) Finite() bool { return a.Unreachable == 0 }
 
 // Result is one full evaluation: both directed aggregate sets, the
-// symmetric Hausdorff distance, and the pruning accounting.
+// symmetric Hausdorff distance, and the pruning accounting. It is the
+// PDSA binary answer record (internal/server codec), so every field is
+// fixed-width.
+//
+//pde:wire size=96
 type Result struct {
 	// AB aggregates A→B (min over B for each member of A); BA the
 	// reverse direction.
@@ -166,7 +175,7 @@ func evalDirection(inst scheme.Instance, x, y []int32, lm landmarks, opt Options
 	}
 	// Reduce in member order, independent of the worker fan-out, so the
 	// float sums are bit-identical at any width.
-	agg := Aggregates{Members: len(x)}
+	agg := Aggregates{Members: int32(len(x))}
 	for _, d := range minD {
 		if math.IsInf(d, 1) {
 			agg.Unreachable++

@@ -138,7 +138,7 @@ func Figure1Gadget(h, sigma int) *graph.Figure1 { return graph.NewFigure1(h, sig
 // GroundTruth computes exact APSP centrally (for verification).
 func GroundTruth(g *Graph) *APSPGroundTruth { return graph.AllPairs(g) }
 
-// Estimation runs (1+ε)-approximate (S, h, σ)-estimation (Corollary 3.5).
+// RunEstimation runs (1+ε)-approximate (S, h, σ)-estimation (Corollary 3.5).
 func RunEstimation(g *Graph, p EstimationParams, cfg Config) (*Estimation, error) {
 	return core.Run(g, p, cfg)
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Installs the external lint/scan tools at their pinned versions.
+#
+# This is the single source of truth for tool versions: CI jobs and local
+# runs both install through this script, so they can never disagree on
+# what "staticcheck passes" means. The module itself stays zero-dependency
+# — a tools.go + go.mod tool dependency would drag honnef.co/go/tools and
+# golang.org/x/* into go.mod/go.sum, which this repo deliberately avoids
+# (see docs/analysis.md) — so the pin lives here instead.
+#
+# Usage: scripts/install-tools.sh [staticcheck|govulncheck|all]
+set -eu
+
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
+
+want=${1:-all}
+
+case "$want" in
+staticcheck | all)
+	go install "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}"
+	;;
+esac
+case "$want" in
+govulncheck | all)
+	go install "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}"
+	;;
+esac
