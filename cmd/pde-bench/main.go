@@ -33,6 +33,13 @@
 // Chamfer/Hausdorff evaluation against its naive |A|×|B| twin on seeded
 // set pairs, failing unless the aggregates are bit-identical.
 //
+// Update scenarios (BENCH_update_*.json, schema "pde-update/v1", see
+// internal/bench/update.go) pin the incremental-update tier: a seeded
+// churn stream of single-edge reweights, each step patching the compiled
+// tables (scheme.Update) AND rebuilding them from scratch, failing
+// unless the two are fingerprint-identical at every step; the artifact
+// records the delta-vs-rebuild wall-clock ratio.
+//
 // Usage:
 //
 //	pde-bench [-quick] [-filter substr] [-out dir] [-list] [-workers n]
@@ -73,7 +80,7 @@ import (
 var deterministicFields = []string{
 	"schema", "fingerprint", "n", "m", "seed",
 	"active_rounds", "budget_rounds", "messages", "message_bits",
-	"instances", "queries",
+	"instances", "queries", "updates", "delta_updates", "identical",
 }
 
 // checkAgainst compares the fresh report's deterministic fields with the
@@ -164,6 +171,13 @@ func main() {
 			selectedSD = append(selectedSD, s)
 		}
 	}
+	updates := bench.UpdateScenarios()
+	selectedU := updates[:0]
+	for _, s := range updates {
+		if keep(s.Name, s.Quick) {
+			selectedU = append(selectedU, s)
+		}
+	}
 	if *list {
 		for _, s := range selected {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, s.Algorithm, s.Topology, s.N, s.Quick)
@@ -185,9 +199,13 @@ func main() {
 			sp := s.Spec.Normalized()
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "setdist/"+s.Mode, sp.Topology, sp.N, s.Quick)
 		}
+		for _, s := range selectedU {
+			sp := s.Spec.Normalized()
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "update/"+sp.Scheme, sp.Topology, sp.N, s.Quick)
+		}
 		return
 	}
-	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedSch) + len(selectedSD)
+	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedSch) + len(selectedSD) + len(selectedU)
 	if total == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
@@ -197,8 +215,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d scheme, %d setdist), GOMAXPROCS=%d\n",
-		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedSch), len(selectedSD), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d scheme, %d setdist, %d update), GOMAXPROCS=%d\n",
+		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedSch), len(selectedSD), len(selectedU), runtime.GOMAXPROCS(0))
 	failed := 0
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
@@ -333,6 +351,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ok   %-28s |A|=%-3d |B|=%-3d evaluated=%d/%d pruned=%.0f%% speedup=%.2fx\n",
 			s.Name, rep.SetA, rep.SetB, rep.Queries, rep.Pairs,
 			100*float64(rep.Pruned)/float64(rep.Pairs), rep.Speedup)
+	}
+	for _, s := range selectedU {
+		rep, err := bench.RunUpdateScenario(s)
+		if err != nil {
+			fail(s.Name, err)
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
+			continue
+		}
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok   %-28s updates=%-3d delta=%-3d avg_damage=%.2f update=%.1fms rebuild=%.1fms speedup=%.2fx\n",
+			s.Name, rep.Updates, rep.DeltaUpdates, rep.AvgDamage,
+			float64(rep.UpdateWallNS)/1e6, float64(rep.RebuildWallNS)/1e6, rep.Speedup)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "pde-bench: %d of %d scenarios failed\n", failed, total)

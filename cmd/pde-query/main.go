@@ -59,6 +59,24 @@
 // -naive asks the server for the reference |A|×|B| evaluation instead of
 // the pruned engine; the aggregates are bit-identical either way, so the
 // flag exists to compare served wall clock and evaluated counts.
+//
+// Update mode drives edge churn instead of queries: it regenerates the
+// target shard's graph client-side from the spec in /v1/stats, then
+// applies -updates seeded single-edge ±1 reweights one at a time through
+// /v1/update, mirroring each change locally so every reweight names a
+// live edge with its current weight:
+//
+//	pde-query -remote http://127.0.0.1:7475 -updates 50 [-shard main]
+//	          [-update-seed 1] [-update-verify] [-json]
+//
+// The summary reports how many updates the incremental delta path served
+// versus full rebuilds, the mean damage (affected rounding-instance
+// fraction), and the final serving fingerprint. -update-verify makes the
+// daemon check every published generation against a from-scratch build
+// on the same graph (refusing to publish on mismatch) — the CI churn
+// smoke runs with it on. The shard must not already be mutated: a prior
+// churn stream leaves the serving graph unreproducible from its spec,
+// so the tool refuses and asks for a /v1/rebuild first.
 package main
 
 import (
@@ -139,11 +157,25 @@ func main() {
 	setA := flag.Int("set-a", 32, "-setdist: member count of set A (seeded sample of the shard's nodes)")
 	setB := flag.Int("set-b", 64, "-setdist: member count of set B (seeded sample of the shard's nodes)")
 	naive := flag.Bool("naive", false, "-setdist: request the naive |A|x|B| reference evaluation instead of the pruned engine")
+	updates := flag.Int("updates", 0, "remote mode: drive this many seeded single-edge reweights through /v1/update instead of a query stream")
+	updateSeed := flag.Int64("update-seed", 1, "-updates: churn stream seed")
+	updateVerify := flag.Bool("update-verify", false, "-updates: ask the daemon to verify every update against a from-scratch build before publishing")
 	flag.Parse()
 
 	if *setDist && *remote == "" {
 		fmt.Fprintln(os.Stderr, "pde-query: -setdist is a remote mode; point it at a daemon with -remote")
 		os.Exit(2)
+	}
+	if *updates > 0 && *remote == "" {
+		fmt.Fprintln(os.Stderr, "pde-query: -updates is a remote mode; point it at a daemon with -remote")
+		os.Exit(2)
+	}
+	if *remote != "" && *updates > 0 {
+		runUpdates(updateOpts{
+			base: *remote, shard: *shard, updates: *updates,
+			seed: *updateSeed, verify: *updateVerify, asJSON: *asJSON,
+		})
+		return
 	}
 	if *remote != "" && *setDist {
 		runSetDist(setDistOpts{
@@ -655,4 +687,136 @@ func runSetDist(opt setDistOpts) {
 	fmt.Printf("pde-query: B->A %s\n", agg(resp.BA))
 	fmt.Printf("pde-query: symmetric Hausdorff %s — %s engine evaluated %d of %d candidate pairs (%d pruned) in %.2fms\n",
 		sym, mode, resp.Evaluated, resp.Pairs, resp.Pruned, float64(wall.Nanoseconds())/1e6)
+}
+
+// updateOpts parameterizes an -updates churn run against a pde-serve
+// daemon.
+type updateOpts struct {
+	base, shard string
+	updates     int
+	seed        int64
+	verify      bool
+	asJSON      bool
+}
+
+// updateSummary is the machine-readable report of an -updates run.
+type updateSummary struct {
+	Shard          string  `json:"shard"`
+	Updates        int     `json:"updates"`
+	DeltaUpdates   int     `json:"delta_updates"`
+	RebuildUpdates int     `json:"rebuild_updates"`
+	Verified       int     `json:"verified"`
+	AvgDamage      float64 `json:"avg_damage"`
+	WallNS         int64   `json:"wall_ns"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	Fingerprint    string  `json:"fingerprint"`
+}
+
+// runUpdates regenerates the shard's graph from its spec, then walks a
+// seeded churn stream of single-edge ±1 reweights through /v1/update,
+// keeping a local mirror of the serving graph in lockstep so every
+// change targets a live edge. It exits the process on any error.
+func runUpdates(opt updateOpts) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pde-query: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	client := &server.Client{BaseURL: opt.base, Shard: opt.shard}
+	st, err := client.Stats()
+	if err != nil {
+		fail("fetching /v1/stats from %s: %v", opt.base, err)
+	}
+	status, ok := st.Shards[opt.shard]
+	if !ok {
+		fail("daemon has no shard %q", opt.shard)
+	}
+	if status.Mutated {
+		fail("shard %q is already mutated: its serving graph no longer matches its spec, so a client-side mirror cannot be reconstructed — POST /v1/rebuild first", opt.shard)
+	}
+	sp := status.Spec.Normalized()
+	g, err := sp.BuildGraph()
+	if err != nil {
+		fail("regenerating shard %q graph from its spec: %v", opt.shard, err)
+	}
+	if fmt.Sprintf("%d", g.N()) != fmt.Sprintf("%d", status.N) {
+		fail("regenerated graph has n=%d, shard reports n=%d", g.N(), status.N)
+	}
+
+	rng := rand.New(rand.NewSource(opt.seed))
+	sum := updateSummary{Shard: opt.shard, Updates: opt.updates}
+	var damage float64
+	t0 := time.Now()
+	for step := 0; step < opt.updates; step++ {
+		edges := make([]graph.Change, 0, g.M())
+		g.Edges(func(u, v int, w graph.Weight, _ int32) {
+			edges = append(edges, graph.Change{Op: graph.OpReweight, U: u, V: v, W: w})
+		})
+		c := edges[rng.Intn(len(edges))]
+		switch {
+		case c.W <= 1:
+			c.W++
+		case c.W >= graph.Weight(sp.MaxW):
+			c.W--
+		case rng.Intn(2) == 0:
+			c.W--
+		default:
+			c.W++
+		}
+		g2, _, err := g.ApplyChanges([]graph.Change{c})
+		if err != nil {
+			fail("step %d: mirroring reweight locally: %v", step, err)
+		}
+		resp, err := client.Update(server.UpdateRequest{
+			Changes: []server.WireChange{{Op: "reweight", U: c.U, V: c.V, W: c.W}},
+			Verify:  opt.verify,
+		})
+		if err != nil {
+			fail("step %d: /v1/update: %v", step, err)
+		}
+		if resp.Path == "delta" {
+			sum.DeltaUpdates++
+		} else {
+			sum.RebuildUpdates++
+		}
+		if resp.Verified {
+			sum.Verified++
+		}
+		damage += resp.Damage
+		sum.Fingerprint = resp.NewFingerprint
+		g = g2
+	}
+	wall := time.Since(t0)
+	sum.WallNS = wall.Nanoseconds()
+	if opt.updates > 0 {
+		sum.AvgDamage = damage / float64(opt.updates)
+	}
+	if wall > 0 {
+		sum.UpdatesPerSec = float64(opt.updates) / wall.Seconds()
+	}
+
+	// The stream's final generation must be what the daemon now serves.
+	st, err = client.Stats()
+	if err != nil {
+		fail("re-fetching /v1/stats: %v", err)
+	}
+	status = st.Shards[opt.shard]
+	if status.Fingerprint != sum.Fingerprint {
+		fail("daemon serves %s but the last update published %s", status.Fingerprint, sum.Fingerprint)
+	}
+	if !status.Mutated {
+		fail("shard %q is not flagged mutated after %d updates", opt.shard, opt.updates)
+	}
+
+	if opt.asJSON {
+		data, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fail("marshal: %v", err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	fmt.Printf("pde-query: churn shard=%q n=%d — %d updates (%d delta, %d rebuild, %d verified), avg damage %.3f\n",
+		opt.shard, g.N(), sum.Updates, sum.DeltaUpdates, sum.RebuildUpdates, sum.Verified, sum.AvgDamage)
+	fmt.Printf("pde-query: applied in %.1fms (%.1f updates/sec), serving fingerprint %s\n",
+		float64(sum.WallNS)/1e6, sum.UpdatesPerSec, sum.Fingerprint)
 }

@@ -4,7 +4,9 @@
 // aggregate set-distance queries (/v1/setdist: Chamfer, Hausdorff and
 // mean-min between two member sets, answered by the pruned
 // internal/setdist engine) over HTTP, with admin hot-swap rebuilds,
-// micro-batched oracle dispatch, a route LRU, and per-shard stats.
+// incremental edge-churn updates (/v1/update, delta-patched tables with
+// a -damage-threshold rebuild cutoff), micro-batched oracle dispatch, a
+// route LRU, and per-shard stats.
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	          [-shards '{"name": {"scheme": "...", "topology": "...", ...}}']
 //	          [-max-batch 65536] [-coalesce-limit 16384]
 //	          [-coalesce-wait 0] [-workers 0] [-route-cache 4096]
+//	          [-damage-threshold 0]
 //
 // With -shards, the JSON object maps shard names to full specs
 // (internal/scheme.Spec: topology + PDE knobs + scheme selector) and the
@@ -68,6 +71,7 @@ func main() {
 	coalesceWait := flag.Duration("coalesce-wait", 0, "hold a lone request open this long for coalescing (0 = opportunistic)")
 	workers := flag.Int("workers", 0, "oracle fan-out per flush (0 = GOMAXPROCS)")
 	routeCache := flag.Int("route-cache", 0, "per-shard route LRU capacity (0 = default 4096, negative disables)")
+	damageThreshold := flag.Float64("damage-threshold", 0, "/v1/update delta-vs-rebuild cutoff: affected-instance fraction above which an update rebuilds from scratch (0 = scheme default)")
 	flag.Parse()
 
 	specs := map[string]server.Spec{}
@@ -95,11 +99,12 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxBatch:       *maxBatch,
-		CoalesceLimit:  *coalesceLimit,
-		CoalesceWait:   *coalesceWait,
-		Workers:        *workers,
-		RouteCacheSize: *routeCache,
+		MaxBatch:        *maxBatch,
+		CoalesceLimit:   *coalesceLimit,
+		CoalesceWait:    *coalesceWait,
+		Workers:         *workers,
+		RouteCacheSize:  *routeCache,
+		DamageThreshold: *damageThreshold,
 	}
 	t0 := time.Now()
 	fmt.Fprintf(os.Stderr, "pde-serve: building %d shard(s)...\n", len(specs))

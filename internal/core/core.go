@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -220,18 +221,29 @@ const maxHierarchyInstances = 1 << 16
 // parameters always produce the same output, rounds and messages — the
 // derandomization claim of Theorem 4.1.
 func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
+	res, _, err := run(g, p, cfg, nil)
+	return res, err
+}
+
+// run is the shared build path behind Run and Patch. When prev is
+// non-nil, any rounding instance whose base and subdivided lengths on g
+// are identical to prev's is reused by pointer instead of re-detected;
+// merge and combine always re-run, so the output is bit-identical to a
+// fresh Run on g either way.
+func run(g *graph.Graph, p Params, cfg congest.Config, prev *Result) (*Result, PatchStats, error) {
+	var ps PatchStats
 	n := g.N()
 	if len(p.IsSource) != n {
-		return nil, fmt.Errorf("core: IsSource has %d entries for %d nodes", len(p.IsSource), n)
+		return nil, ps, fmt.Errorf("core: IsSource has %d entries for %d nodes", len(p.IsSource), n)
 	}
 	if !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 1) {
-		return nil, fmt.Errorf("core: epsilon %v must be positive and finite", p.Epsilon)
+		return nil, ps, fmt.Errorf("core: epsilon %v must be positive and finite", p.Epsilon)
 	}
 	if 1+p.Epsilon == 1 {
-		return nil, fmt.Errorf("core: epsilon %v is below float64 resolution (1+ε == 1)", p.Epsilon)
+		return nil, ps, fmt.Errorf("core: epsilon %v is below float64 resolution (1+ε == 1)", p.Epsilon)
 	}
 	if p.H < 0 || p.Sigma < 0 {
-		return nil, fmt.Errorf("core: negative H=%d or Sigma=%d", p.H, p.Sigma)
+		return nil, ps, fmt.Errorf("core: negative H=%d or Sigma=%d", p.H, p.Sigma)
 	}
 	res := &Result{
 		HPrime:           HPrimeFor(p.H, p.Epsilon),
@@ -245,7 +257,7 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 	if !p.SkipSetup && n > 0 {
 		tree, tm, err := congest.BuildBFSTree(g, 0, cfg.Sub())
 		if err != nil {
-			return nil, fmt.Errorf("core: setup BFS tree: %w", err)
+			return nil, ps, fmt.Errorf("core: setup BFS tree: %w", err)
 		}
 		local := make([]int64, n)
 		for v := 0; v < n; v++ {
@@ -257,10 +269,10 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 		}
 		agg, am, err := congest.Aggregate(g, tree, local, func(a, b int64) int64 { return max(a, b) }, cfg.Sub())
 		if err != nil {
-			return nil, fmt.Errorf("core: setup aggregate: %w", err)
+			return nil, ps, fmt.Errorf("core: setup aggregate: %w", err)
 		}
 		if graph.Weight(agg) != maxW {
-			return nil, fmt.Errorf("core: aggregated w_max %d != %d", agg, maxW)
+			return nil, ps, fmt.Errorf("core: aggregated w_max %d != %d", agg, maxW)
 		}
 		res.SetupRounds = tm.ActiveRounds + am.ActiveRounds
 		res.Messages += tm.Messages + am.Messages
@@ -278,7 +290,7 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 	// and the -race property tests enforce it rather than assume it).
 	num := NumInstances(maxW, p.Epsilon)
 	if num > maxHierarchyInstances {
-		return nil, fmt.Errorf("core: epsilon %v needs %d rounding instances for w_max %d (limit %d)",
+		return nil, ps, fmt.Errorf("core: epsilon %v needs %d rounding instances for w_max %d (limit %d)",
 			p.Epsilon, num, maxW, maxHierarchyInstances)
 	}
 	buildOne := func(i int, sub congest.Config) (*Instance, error) {
@@ -291,6 +303,15 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 			}
 			lengths[id] = l
 		})
+		if prev != nil && i < len(prev.Instances) {
+			if pi := prev.Instances[i]; pi.Base == base && slices.Equal(pi.Lengths, lengths) {
+				// Identical base and subdivided lengths mean detection.Run
+				// would reproduce pi.Det bit-for-bit on this graph (Patch
+				// guarantees unchanged structure), so the old instance is
+				// the new one.
+				return pi, nil
+			}
+		}
 		delays := p.Delays
 		if p.InstanceDelays != nil {
 			delays = p.InstanceDelays(i)
@@ -351,16 +372,25 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 		// returned; reporting it keeps the two paths interchangeable.
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, ps, err
 			}
 		}
 	} else {
 		for i := 0; i < num; i++ {
 			inst, err := buildOne(i, cfg.Sub())
 			if err != nil {
-				return nil, err
+				return nil, ps, err
 			}
 			insts[i] = inst
+		}
+	}
+
+	ps.Instances = num
+	for i, inst := range insts {
+		if prev != nil && i < len(prev.Instances) && inst == prev.Instances[i] {
+			ps.Reused++
+		} else {
+			ps.Rebuilt++
 		}
 	}
 
@@ -410,7 +440,7 @@ func Run(g *graph.Graph, p Params, cfg congest.Config) (*Result, error) {
 		}
 		res.Lists[v] = lst
 	}
-	return res, nil
+	return res, ps, nil
 }
 
 // PerInstanceDelays returns an InstanceDelays stream for Priority

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"pde/internal/congest"
+	"pde/internal/graph"
+)
+
+// PatchStats accounts one Patch (or Run, where everything is rebuilt):
+// how many rounding instances the hierarchy has and how many of them
+// were rebuilt versus reused from the previous result.
+type PatchStats struct {
+	// Instances is i_max+1 on the updated graph.
+	Instances int
+	// Rebuilt counts instances whose detection re-ran.
+	Rebuilt int
+	// Reused counts instances carried over from prev by pointer.
+	Reused int
+}
+
+// Damage is Rebuilt/Instances — the affected fraction of the hierarchy
+// (1 for an empty hierarchy, which cannot happen for valid params).
+func (ps PatchStats) Damage() float64 {
+	if ps.Instances == 0 {
+		return 1
+	}
+	return float64(ps.Rebuilt) / float64(ps.Instances)
+}
+
+// instanceLengths returns instance i's subdivided lengths on g — the
+// exact vector Run's buildOne computes.
+func instanceLengths(g *graph.Graph, eps float64, i int) []int32 {
+	base := math.Pow(1+eps, float64(i))
+	lengths := make([]int32, g.M())
+	g.Edges(func(_, _ int, w graph.Weight, id int32) {
+		l := int32(math.Ceil(float64(w) / base))
+		if l < 1 {
+			l = 1
+		}
+		lengths[id] = l
+	})
+	return lengths
+}
+
+// AffectedInstances reports, for each rounding instance the updated
+// graph g needs, whether prev's instance can NOT be reused: index i is
+// true when instance i must be re-detected (its subdivided lengths on g
+// differ from prev's, or prev has no instance i). The slice has
+// NumInstances(g.MaxWeight(), prev.Params.Epsilon) entries, so a w_max
+// change that deepens the hierarchy marks the new tail instances
+// affected and one that shrinks it just drops the prev tail.
+//
+// This is the damage metric a caller consults before choosing between
+// Patch and a full rebuild; it costs O(m·i_max) with no detection work.
+func AffectedInstances(g *graph.Graph, prev *Result) []bool {
+	num := NumInstances(g.MaxWeight(), prev.Params.Epsilon)
+	affected := make([]bool, num)
+	for i := range affected {
+		if i >= len(prev.Instances) {
+			affected[i] = true
+			continue
+		}
+		pi := prev.Instances[i]
+		affected[i] = pi.Base != math.Pow(1+prev.Params.Epsilon, float64(i)) ||
+			!slices.Equal(pi.Lengths, instanceLengths(g, prev.Params.Epsilon, i))
+	}
+	return affected
+}
+
+// Patch re-runs PDE on the updated graph g, reusing every rounding
+// instance of prev that the update left untouched. The result is
+// bit-identical to Run(g, prev.Params, cfg) — same lists, accounting and
+// Fingerprint — because instance i's detection depends only on the graph
+// structure and its subdivided lengths: when both are unchanged, prev's
+// instance IS what a fresh run would compute, and the merge and combine
+// phases always re-run from the full instance set.
+//
+// prev must come from a Run (or Patch) with the same Params on a graph
+// with the same structure (same nodes, edges and edge ids — weight-only
+// changes, see graph.ApplyChanges); topology changes invalidate every
+// instance's detection and must take the full-rebuild path instead.
+// Patch validates what it can see cheaply (node and edge counts) and
+// leaves the structural guarantee to the caller, who holds both graphs.
+func Patch(g *graph.Graph, cfg congest.Config, prev *Result) (*Result, PatchStats, error) {
+	if prev == nil {
+		return nil, PatchStats{}, fmt.Errorf("core: Patch needs a previous result")
+	}
+	p := prev.Params
+	if len(p.IsSource) != g.N() {
+		return nil, PatchStats{}, fmt.Errorf("core: Patch across node-count change (%d -> %d): rebuild instead",
+			len(p.IsSource), g.N())
+	}
+	if len(prev.Instances) > 0 && len(prev.Instances[0].Lengths) != g.M() {
+		return nil, PatchStats{}, fmt.Errorf("core: Patch across edge-count change (%d -> %d): rebuild instead",
+			len(prev.Instances[0].Lengths), g.M())
+	}
+	return run(g, p, cfg, prev)
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChangeOp selects the kind of mutation a Change applies.
+type ChangeOp uint8
+
+const (
+	// OpReweight replaces the weight of an existing edge.
+	OpReweight ChangeOp = iota
+	// OpInsert adds a new edge.
+	OpInsert
+	// OpDelete removes an existing edge.
+	OpDelete
+)
+
+// String returns the wire name of the operation.
+func (op ChangeOp) String() string {
+	switch op {
+	case OpReweight:
+		return "reweight"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("ChangeOp(%d)", uint8(op))
+	}
+}
+
+// ParseChangeOp maps a wire name to its ChangeOp.
+func ParseChangeOp(s string) (ChangeOp, error) {
+	switch s {
+	case "reweight":
+		return OpReweight, nil
+	case "insert":
+		return OpInsert, nil
+	case "delete":
+		return OpDelete, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown change op %q (want reweight, insert or delete)", s)
+	}
+}
+
+// Change is one mutation against an existing graph: a weight change on an
+// edge, an edge insertion, or an edge deletion. W is the new weight for
+// OpReweight and OpInsert and is ignored for OpDelete.
+type Change struct {
+	Op   ChangeOp
+	U, V int
+	W    Weight
+}
+
+// ChangeSummary reports what a batch of changes did to the graph.
+type ChangeSummary struct {
+	// Reweights, Inserts and Deletes count the applied changes by kind.
+	Reweights, Inserts, Deletes int
+	// TopologyChanged reports whether the edge set itself changed
+	// (inserts or deletes). Weight-only batches keep every edge id
+	// stable, which is what makes delta rebuilds possible upstream.
+	TopologyChanged bool
+}
+
+// ApplyChanges returns a new immutable graph with the changes applied.
+// The receiver is never modified. For weight-only batches the returned
+// graph assigns every surviving edge the same id it had in g, so
+// per-edge tables indexed by id stay aligned across the two graphs.
+// Topology-changing batches renumber ids densely (deletions compact the
+// id space; insertions append).
+//
+// Each change is validated against g plus the earlier changes in the
+// batch: reweighting or deleting a missing edge, inserting an existing
+// one, touching the same pair twice, out-of-range endpoints, self-loops
+// and non-positive weights are all errors, and no partial application
+// happens — on error the caller keeps g.
+func (g *Graph) ApplyChanges(changes []Change) (*Graph, ChangeSummary, error) {
+	var sum ChangeSummary
+	if len(changes) == 0 {
+		return nil, sum, errors.New("graph: empty change batch")
+	}
+	n := g.N()
+	type edge struct {
+		u, v    int
+		w       Weight
+		deleted bool
+	}
+	edges := make([]edge, g.M())
+	byPair := make(map[[2]int]int, g.M())
+	g.Edges(func(u, v int, w Weight, id int32) {
+		edges[id] = edge{u: u, v: v, w: w}
+		byPair[[2]int{u, v}] = int(id)
+	})
+	var inserts []edge
+	touched := make(map[[2]int]struct{}, len(changes))
+	for i, c := range changes {
+		if c.U < 0 || c.U >= n || c.V < 0 || c.V >= n {
+			return nil, sum, fmt.Errorf("graph: change %d: edge {%d,%d} out of range [0,%d)", i, c.U, c.V, n)
+		}
+		if c.U == c.V {
+			return nil, sum, fmt.Errorf("graph: change %d: self-loop at node %d", i, c.U)
+		}
+		key := [2]int{min(c.U, c.V), max(c.U, c.V)}
+		if _, dup := touched[key]; dup {
+			return nil, sum, fmt.Errorf("graph: change %d: edge {%d,%d} changed twice in one batch", i, c.U, c.V)
+		}
+		touched[key] = struct{}{}
+		id, exists := byPair[key]
+		switch c.Op {
+		case OpReweight:
+			if !exists {
+				return nil, sum, fmt.Errorf("graph: change %d: reweight of missing edge {%d,%d}", i, c.U, c.V)
+			}
+			if c.W < 1 {
+				return nil, sum, fmt.Errorf("graph: change %d: non-positive weight %d for {%d,%d}", i, c.W, c.U, c.V)
+			}
+			edges[id].w = c.W
+			sum.Reweights++
+		case OpInsert:
+			if exists {
+				return nil, sum, fmt.Errorf("graph: change %d: insert of existing edge {%d,%d}", i, c.U, c.V)
+			}
+			if c.W < 1 {
+				return nil, sum, fmt.Errorf("graph: change %d: non-positive weight %d for {%d,%d}", i, c.W, c.U, c.V)
+			}
+			inserts = append(inserts, edge{u: key[0], v: key[1], w: c.W})
+			sum.Inserts++
+		case OpDelete:
+			if !exists {
+				return nil, sum, fmt.Errorf("graph: change %d: delete of missing edge {%d,%d}", i, c.U, c.V)
+			}
+			edges[id].deleted = true
+			sum.Deletes++
+		default:
+			return nil, sum, fmt.Errorf("graph: change %d: unknown op %d", i, c.Op)
+		}
+	}
+	sum.TopologyChanged = sum.Inserts+sum.Deletes > 0
+	// Rebuild in id order so weight-only batches preserve every id.
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if !e.deleted {
+			b.AddEdge(e.u, e.v, e.w)
+		}
+	}
+	for _, e := range inserts {
+		b.AddEdge(e.u, e.v, e.w)
+	}
+	ng, err := b.Build()
+	if err != nil {
+		return nil, sum, fmt.Errorf("graph: rebuilding after changes: %w", err)
+	}
+	return ng, sum, nil
+}
+
+// SameStructure reports whether g and o have identical node and edge
+// structure — same n, same m, and the same (neighbor, edge-id) adjacency
+// at every node — ignoring weights. Per-edge tables indexed by edge id
+// are interchangeable between two graphs exactly when this holds.
+func (g *Graph) SameStructure(o *Graph) bool {
+	if g.N() != o.N() || g.M() != o.M() {
+		return false
+	}
+	for v := range g.adj {
+		a, b := g.adj[v], o.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].To != b[i].To || a[i].ID != b[i].ID {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -12,6 +12,7 @@ import (
 
 func init() {
 	Register("compact", buildCompact)
+	RegisterOn("compact", buildCompactOn)
 }
 
 // compactC matches the C the pde-compact CLI and experiment tables have
@@ -59,6 +60,10 @@ func buildCompact(sp Spec) (Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildCompactOn(sp, g)
+}
+
+func buildCompactOn(sp Spec, g *graph.Graph) (Instance, error) {
 	var sch *compact.Scheme
 	buildNS, err := buildCost(func() error {
 		var berr error

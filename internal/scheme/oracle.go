@@ -11,6 +11,7 @@ import (
 
 func init() {
 	Register("oracle", buildOracle)
+	RegisterOn("oracle", buildOracleOn)
 }
 
 // OracleInstance is the compiled-CSR backend: the exact serving path the
@@ -34,6 +35,10 @@ func buildOracle(sp Spec) (Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildOracleOn(sp, g)
+}
+
+func buildOracleOn(sp Spec, g *graph.Graph) (Instance, error) {
 	var res *core.Result
 	buildNS, err := buildCost(func() error {
 		var rerr error

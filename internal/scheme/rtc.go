@@ -10,6 +10,7 @@ import (
 
 func init() {
 	Register("rtc", buildRTC)
+	RegisterOn("rtc", buildRTCOn)
 }
 
 // rtcC scales the h = σ = C·ln(n)/p sweep widths; 1.5 sharpens the
@@ -50,6 +51,10 @@ func buildRTC(sp Spec) (Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildRTCOn(sp, g)
+}
+
+func buildRTCOn(sp Spec, g *graph.Graph) (Instance, error) {
 	var sch *rtc.Scheme
 	buildNS, err := buildCost(func() error {
 		var berr error

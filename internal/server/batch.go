@@ -1,20 +1,28 @@
 package server
 
 import (
+	"errors"
+	"sync"
 	"time"
 
 	"pde/internal/oracle"
 )
 
+// errClosing is what submit returns once the batcher is shutting down;
+// handlers translate it into the 503 shutting_down envelope.
+var errClosing = errors.New("server: shutting down")
+
 // job is one HTTP request's worth of point lookups waiting for a
-// dispatcher flush. The dispatcher fills out (len(qs) entries) and
-// records the shard snapshot that answered, so the handler can stamp the
-// response with that table's fingerprint — every query in one request is
-// answered by exactly one generation, never a torn mix.
+// dispatcher flush. It carries the shard snapshot the handler validated
+// the ids against; the dispatcher answers from exactly that snapshot, so
+// the response's stamped fingerprint, its validation bounds and its
+// answers always describe one generation — a rebuild that shrinks n
+// mid-request can never drive a validated query out of bounds.
 type job struct {
 	qs   []oracle.Query
 	out  []oracle.Answer
-	sh   *shard
+	sh   *shard // validated snapshot; the dispatcher answers from it
+	err  error  // set instead of out when the batcher shut down
 	done chan struct{}
 }
 
@@ -32,7 +40,11 @@ type batcher struct {
 	limit   int // max point lookups per flush
 	wait    time.Duration
 	workers int // oracle.AnswerInto fan-out per flush
-	stop    chan struct{}
+
+	mu     sync.RWMutex // closed is written once, under mu; submit reads it under RLock
+	closed bool
+	stop   chan struct{}
+	exited chan struct{}
 }
 
 func newBatcher(sl *slot, limit int, wait time.Duration, workers int) *batcher {
@@ -43,28 +55,59 @@ func newBatcher(sl *slot, limit int, wait time.Duration, workers int) *batcher {
 		wait:    wait,
 		workers: workers,
 		stop:    make(chan struct{}),
+		exited:  make(chan struct{}),
 	}
 	go b.run()
 	return b
 }
 
 // submit enqueues the request's queries and blocks until the dispatcher
-// has answered them. The returned shard is the snapshot every answer in
-// this request came from.
-func (b *batcher) submit(qs []oracle.Query) ([]oracle.Answer, *shard) {
-	j := &job{qs: qs, out: make([]oracle.Answer, len(qs)), done: make(chan struct{})}
+// has answered them against sh, the snapshot the caller validated the
+// ids on. It returns errClosing — never hangs — when the batcher has
+// been closed or closes while the job is queued.
+func (b *batcher) submit(qs []oracle.Query, sh *shard) ([]oracle.Answer, error) {
+	j := &job{qs: qs, out: make([]oracle.Answer, len(qs)), sh: sh, done: make(chan struct{})}
+	// The send happens under the read lock: close() cannot flip closed
+	// until every in-flight send has finished, so any job that passed the
+	// check below is either flushed or failed by the final drain — never
+	// stranded in the channel.
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, errClosing
+	}
 	b.jobs <- j
+	b.mu.RUnlock()
 	<-j.done
-	return j.out, j.sh
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.out, nil
 }
 
-func (b *batcher) close() { close(b.stop) }
+// close marks the batcher closed, stops the dispatcher and waits for it
+// to exit. Jobs still queued are drained and failed with errClosing, so
+// no submit caller is left blocked. Safe to call more than once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.exited
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.exited
+}
 
 func (b *batcher) run() {
+	defer close(b.exited)
 	for {
 		var first *job
 		select {
 		case <-b.stop:
+			b.failPending()
 			return
 		case first = <-b.jobs:
 		}
@@ -101,28 +144,82 @@ func (b *batcher) run() {
 	}
 }
 
-// flush answers one micro-batch from a single shard snapshot.
+// failPending fails every job still queued at shutdown. By the time stop
+// is closed no new job can enter the channel (submit checks closed under
+// the lock close holds first), so one non-blocking drain is complete.
+func (b *batcher) failPending() {
+	for {
+		select {
+		case j := <-b.jobs:
+			j.err = errClosing
+			close(j.done)
+		default:
+			return
+		}
+	}
+}
+
+// flush answers one micro-batch, grouping jobs by their validated shard
+// snapshot. A flush that straddles a hot-swap (some jobs validated
+// against the old generation, some against the new) answers each group
+// from its own snapshot — validation and answering always use the same
+// generation.
 func (b *batcher) flush(batch []*job, total int) {
-	sh := b.sl.load()
-	if len(batch) == 1 {
+	b.sl.stats.recordBatch(len(batch), total)
+	// Fast path: every job in the flush saw the same generation — always
+	// true outside the swap window.
+	mixed := false
+	for _, j := range batch[1:] {
+		if j.sh != batch[0].sh {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		b.answerGroup(batch)
+		return
+	}
+	rest := batch
+	for len(rest) > 0 {
+		sh := rest[0].sh
+		group := make([]*job, 0, len(rest))
+		keep := rest[:0]
+		for _, j := range rest {
+			if j.sh == sh {
+				group = append(group, j)
+			} else {
+				keep = append(keep, j)
+			}
+		}
+		b.answerGroup(group)
+		rest = keep
+	}
+}
+
+// answerGroup answers jobs that share one validated snapshot.
+func (b *batcher) answerGroup(group []*job) {
+	sh := group[0].sh
+	if len(group) == 1 {
 		// The common single-request flush answers in place, no copying.
-		sh.inst.AnswerInto(batch[0].qs, batch[0].out, b.workers)
+		sh.inst.AnswerInto(group[0].qs, group[0].out, b.workers)
 	} else {
+		total := 0
+		for _, j := range group {
+			total += len(j.qs)
+		}
 		qs := make([]oracle.Query, 0, total)
-		for _, j := range batch {
+		for _, j := range group {
 			qs = append(qs, j.qs...)
 		}
 		out := make([]oracle.Answer, total)
 		sh.inst.AnswerInto(qs, out, b.workers)
 		off := 0
-		for _, j := range batch {
+		for _, j := range group {
 			copy(j.out, out[off:off+len(j.qs)])
 			off += len(j.qs)
 		}
 	}
-	b.sl.stats.recordBatch(len(batch), total)
-	for _, j := range batch {
-		j.sh = sh
+	for _, j := range group {
 		close(j.done)
 	}
 }

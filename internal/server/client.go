@@ -209,6 +209,24 @@ func (c *Client) Rebuild(req RebuildRequest) (*RebuildResponse, error) {
 	return &resp, nil
 }
 
+// Update applies one churn batch to the client's shard via /v1/update.
+func (c *Client) Update(req UpdateRequest) (*UpdateResponse, error) {
+	req.Shard = c.Shard
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := c.post("/v1/update", "application/json", body)
+	if err != nil {
+		return nil, err
+	}
+	var resp UpdateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("decoding update response: %w", err)
+	}
+	return &resp, nil
+}
+
 // Stats fetches the daemon's counters.
 func (c *Client) Stats() (*StatsResponse, error) {
 	resp, err := c.http().Get(c.BaseURL + "/v1/stats")

@@ -26,6 +26,9 @@
 //	POST /v1/setdist    aggregate set-to-set distances (Chamfer/Hausdorff/
 //	                    mean-min over internal/setdist's pruned evaluation)
 //	POST /v1/rebuild    rebuild a shard's tables and hot-swap them in
+//	POST /v1/update     apply edge churn (reweight/insert/delete) to a
+//	                    shard's graph, patching compiled tables in place
+//	                    when the damage is small enough
 //	GET  /v1/stats      per-shard counters, batch shape, cache hit rate
 //	GET  /healthz       liveness + shard inventory
 //
@@ -37,7 +40,8 @@
 //
 // Errors are always the JSON envelope {"error": {"code", "message"}}:
 // 400 bad_request / out_of_range / empty_batch, 404 unknown_shard,
-// 405 method_not_allowed, 413 batch_too_large.
+// 405 method_not_allowed, 413 batch_too_large, 500 build_failed /
+// update_failed, 503 shutting_down.
 package server
 
 import (
@@ -73,6 +77,11 @@ type Config struct {
 	// RouteCacheSize is the per-shard LRU capacity for expanded routes;
 	// < 0 disables the cache.
 	RouteCacheSize int
+	// DamageThreshold caps the fraction of the rounding hierarchy an
+	// incremental /v1/update may rebuild before the delta path gives up
+	// and falls back to a full rebuild; <= 0 uses
+	// scheme.DefaultDamageThreshold.
+	DamageThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +178,7 @@ func assemble(cfg Config, shards []namedShard) (*Server, error) {
 	s.mux.HandleFunc("/v1/route", s.handleRoute)
 	s.mux.HandleFunc("/v1/setdist", s.handleSetDist)
 	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
@@ -177,8 +187,11 @@ func assemble(cfg Config, shards []namedShard) (*Server, error) {
 // ServeHTTP dispatches to the endpoint handlers.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the per-shard dispatcher goroutines. Requests in flight
-// when Close is called may hang; shut the HTTP server down first.
+// Close stops the per-shard dispatcher goroutines and returns only once
+// every one of them has exited. Requests still queued in a batcher when
+// Close is called are failed with the 503 shutting_down envelope rather
+// than left blocked, so Close never strands an in-flight handler; it is
+// safe to call at any time and more than once.
 func (s *Server) Close() {
 	for _, sl := range s.slots {
 		sl.batch.close()
@@ -346,15 +359,19 @@ func isBinary(r *http.Request) bool {
 }
 
 // readBatch parses a query batch in either encoding and resolves its
-// slot, writing the protocol error itself when it returns ok=false.
-func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) (*slot, []oracle.Query, bool) {
+// slot, writing the protocol error itself when it returns ok=false. The
+// returned shard is the snapshot the ids were validated against; the
+// caller must answer and stamp from that same snapshot (the batcher
+// honors this via job.sh), so validation and answering always use the
+// same generation even when a rebuild swaps the slot mid-request.
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) (*slot, *shard, []oracle.Query, bool) {
 	var shardName string
 	var qs []oracle.Query
 	if isBinary(r) {
 		shardName = r.URL.Query().Get("shard")
 		if shardName == "" {
 			writeError(w, http.StatusBadRequest, "bad_request", "binary batches name the shard in the ?shard= query parameter")
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		// Read the exact announced length when the client sends one (the
 		// hot path: no growth reallocs); fall back to a capped ReadAll.
@@ -366,27 +383,27 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) (*slot, []ora
 			_, err = io.ReadFull(r.Body, body)
 		} else if cl > limit {
 			writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch exceeds the %d-query limit", s.cfg.MaxBatch)
-			return nil, nil, false
+			return nil, nil, nil, false
 		} else {
 			body, err = io.ReadAll(io.LimitReader(r.Body, limit))
 		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		if count := (len(body) - 8) / queryRecordSize; count > s.cfg.MaxBatch {
 			writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch exceeds the %d-query limit", s.cfg.MaxBatch)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		qs, err = DecodeQueries(body)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request", "binary batch: %v", err)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 	} else {
 		var req BatchRequest
 		if !decodeJSON(w, r, &req, s.jsonBatchLimit()) {
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		shardName = req.Shard
 		qs = make([]oracle.Query, len(req.Queries))
@@ -397,24 +414,25 @@ func (s *Server) readBatch(w http.ResponseWriter, r *http.Request) (*slot, []ora
 	sl, ok := s.slots[shardName]
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown_shard", "no shard named %q (have %s)", shardName, strings.Join(s.names, ", "))
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	if len(qs) == 0 {
 		writeError(w, http.StatusBadRequest, "empty_batch", "batch carries no queries")
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	if len(qs) > s.cfg.MaxBatch {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", "batch carries %d queries, limit is %d", len(qs), s.cfg.MaxBatch)
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	n := int32(sl.load().g.N())
+	sh := sl.load()
+	n := int32(sh.g.N())
 	for i, q := range qs {
 		if q.V < 0 || q.V >= n || q.S < 0 || q.S >= n {
 			writeError(w, http.StatusBadRequest, "out_of_range", "query %d: (v=%d, s=%d) outside [0, %d)", i, q.V, q.S, n)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 	}
-	return sl, qs, true
+	return sl, sh, qs, true
 }
 
 // --- endpoint handlers -------------------------------------------------
@@ -424,11 +442,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	binary := isBinary(r)
-	sl, qs, ok := s.readBatch(w, r)
+	sl, sh, qs, ok := s.readBatch(w, r)
 	if !ok {
 		return
 	}
-	answers, sh := sl.batch.submit(qs)
+	answers, err := sl.batch.submit(qs, sh)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "shard %q: %v", sl.name, err)
+		return
+	}
 	sl.stats.estimateQueries.Add(int64(len(qs)))
 	if binary {
 		writeBinary(w, sl.name, sh.fp, EncodeAnswers(answers))
@@ -449,7 +471,7 @@ func (s *Server) handleNextHop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	binary := isBinary(r)
-	sl, qs, ok := s.readBatch(w, r)
+	sl, sh, qs, ok := s.readBatch(w, r)
 	if !ok {
 		return
 	}
@@ -457,7 +479,11 @@ func (s *Server) handleNextHop(w http.ResponseWriter, r *http.Request) {
 	// path serves, so the queries ride the same micro-batcher and the
 	// whole request is answered by one snapshot. The v == s terminal
 	// convention (core.Router.NextHop) is applied after the lookup.
-	answers, sh := sl.batch.submit(qs)
+	answers, err := sl.batch.submit(qs, sh)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "shard %q: %v", sl.name, err)
+		return
+	}
 	sl.stats.nexthopQueries.Add(int64(len(qs)))
 	hops := make([]Hop, len(qs))
 	for i, q := range qs {
@@ -631,13 +657,17 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "build_failed", "rebuilding shard %q: %v", req.Shard, err)
 		return
 	}
-	oldFP := sl.swap(sh)
-	// The swap is verified by fingerprint: what the slot now serves must
-	// be exactly the generation this rebuild constructed.
-	if got := sl.load().fp; got != sh.fp {
-		writeError(w, http.StatusInternalServerError, "build_failed", "post-swap fingerprint %s != built %s", got, sh.fp)
+	// Verify before publishing: the shard's stamped fingerprint must be
+	// exactly the built instance's. Checking after the swap would write a
+	// build_failed envelope for tables that are already serving — the old
+	// bug this ordering fixes — so an inconsistent build is rejected here
+	// and the slot keeps its current generation.
+	if want := fmt.Sprintf("%016x", sh.inst.Fingerprint()); sh.fp != want {
+		writeError(w, http.StatusInternalServerError, "build_failed", "built shard stamped %s, instance fingerprint is %s", sh.fp, want)
 		return
 	}
+	oldFP := sl.swap(sh)
+	sl.mutated.Store(false)
 	writeJSON(w, &RebuildResponse{
 		Shard:          req.Shard,
 		OldFingerprint: oldFP,
@@ -694,6 +724,15 @@ type ShardStatus struct {
 	Builds         int64             `json:"builds"`
 	LastSwapUnixNS int64             `json:"last_swap_unix_ns"`
 	BuildNS        int64             `json:"build_ns"`
+	// Updates counts /v1/update batches applied; DeltaUpdates the subset
+	// the incremental patch path served (the rest fell back to a full
+	// rebuild). Mutated means churn has drifted the serving graph away
+	// from the one Spec generates, so Spec alone no longer reproduces
+	// the tables (a /v1/rebuild clears it).
+	Updates          int64 `json:"updates"`
+	DeltaUpdates     int64 `json:"delta_updates"`
+	LastUpdateUnixNS int64 `json:"last_update_unix_ns"`
+	Mutated          bool  `json:"mutated"`
 	// OracleEntries / OracleBytes predate the scheme registry and mirror
 	// Accounting.Entries / Accounting.TableBytes for every backend; kept
 	// so pre-registry stats consumers keep working.
@@ -748,20 +787,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		acct := sh.inst.Accounting()
 		status := ShardStatus{
-			Spec:           sh.spec,
-			Scheme:         sh.inst.Scheme(),
-			N:              sh.g.N(),
-			M:              sh.g.M(),
-			Accounting:     acct,
-			Fingerprint:    sh.fp,
-			Builds:         st.builds.Load(),
-			LastSwapUnixNS: st.lastSwapUnixNS.Load(),
-			BuildNS:        sh.buildNS,
-			OracleEntries:  acct.Entries,
-			OracleBytes:    acct.TableBytes,
-			Queries:        qc,
-			Batches:        bs,
-			RouteCache:     cs,
+			Spec:             sh.spec,
+			Scheme:           sh.inst.Scheme(),
+			N:                sh.g.N(),
+			M:                sh.g.M(),
+			Accounting:       acct,
+			Fingerprint:      sh.fp,
+			Builds:           st.builds.Load(),
+			LastSwapUnixNS:   st.lastSwapUnixNS.Load(),
+			BuildNS:          sh.buildNS,
+			Updates:          st.updates.Load(),
+			DeltaUpdates:     st.deltaUpdates.Load(),
+			LastUpdateUnixNS: st.lastUpdateUnixNS.Load(),
+			Mutated:          sl.mutated.Load(),
+			OracleEntries:    acct.Entries,
+			OracleBytes:      acct.TableBytes,
+			Queries:          qc,
+			Batches:          bs,
+			RouteCache:       cs,
 		}
 		if secs := uptime.Seconds(); secs > 0 {
 			status.QPS = float64(qc.Total) / secs

@@ -82,10 +82,14 @@ func instShard(inst scheme.Instance) *shard {
 type slot struct {
 	name    string
 	ptr     atomic.Pointer[shard]
-	buildMu sync.Mutex // serializes rebuilds of this shard
+	buildMu sync.Mutex // serializes rebuilds and updates of this shard
 	stats   shardStats
 	cache   *routeCache
 	batch   *batcher
+	// mutated is set once /v1/update has drifted the serving graph away
+	// from the spec's generated one, and cleared by /v1/rebuild. While
+	// set, the spec in /v1/stats no longer reproduces the tables.
+	mutated atomic.Bool
 }
 
 func (sl *slot) load() *shard { return sl.ptr.Load() }

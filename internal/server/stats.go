@@ -25,6 +25,13 @@ type shardStats struct {
 
 	builds         atomic.Int64 // table generations built (1 = initial build)
 	lastSwapUnixNS atomic.Int64
+
+	// Incremental-update accounting: updates is every /v1/update batch
+	// applied, deltaUpdates the subset served by the patch path (the rest
+	// fell back to a full rebuild).
+	updates          atomic.Int64
+	deltaUpdates     atomic.Int64
+	lastUpdateUnixNS atomic.Int64
 }
 
 func (st *shardStats) recordBatch(requests, queries int) {

@@ -233,15 +233,15 @@ func TestHotSwapNoTornReads(t *testing.T) {
 	}
 }
 
-// TestHotSwapShrinkDoesNotCrash closes the validation/answer race: a
-// request's node ids are range-checked against the snapshot current at
-// ingress, but answered from whatever snapshot the batcher loads — which
-// a concurrent rebuild may have replaced with a *smaller* graph. Queries
-// that are stale-valid must come back as misses stamped with the small
-// generation's fingerprint (the oracle treats out-of-range ids as "not
-// found"), and the daemon must survive; before the oracle bounds guard
-// this window was an index-out-of-range panic in the dispatcher
-// goroutine, which killed the whole process.
+// TestHotSwapShrinkDoesNotCrash pins the validation/answer coherence
+// fix: a request's node ids are range-checked against the snapshot
+// current at ingress, and the batcher answers from exactly that snapshot
+// (job.sh) even when a concurrent rebuild has replaced it with a
+// *smaller* graph. Before the fix the dispatcher loaded whatever
+// snapshot was current at flush time, so a query validated against the
+// big generation could be answered — or panic — against the small one;
+// now every 200 response must be internally consistent with its stamped
+// generation, and the daemon must survive the whole shrink/grow churn.
 func TestHotSwapShrinkDoesNotCrash(t *testing.T) {
 	big := Spec{Topology: "random", N: 48, Eps: 1, MaxW: 4, Seed: 1}
 	small := big
