@@ -28,6 +28,12 @@
 // all three servable schemes (oracle | rtc | compact) on the identical
 // seeded graph and query streams, through the unified scheme registry.
 //
+// Cluster scenarios (BENCH_cluster_*.json, schema "pde-cluster/v1", see
+// internal/bench/cluster.go) push the same tables behind the pde-cluster
+// coordinator fronting 1..N replicated daemons, record the throughput at
+// every fleet size, and kill the primary replica mid-stream asserting
+// zero lost, wrong, or generation-mismatched answers.
+//
 // Set-distance scenarios (BENCH_setdist_*.json, schema "pde-setdist/v1",
 // see internal/bench/setdist.go) pin the aggregate tier: the pruned
 // Chamfer/Hausdorff evaluation against its naive |A|×|B| twin on seeded
@@ -157,6 +163,13 @@ func main() {
 			selectedS = append(selectedS, s)
 		}
 	}
+	clusters := bench.ClusterScenarios()
+	selectedC := clusters[:0]
+	for _, s := range clusters {
+		if keep(s.Name, s.Quick) {
+			selectedC = append(selectedC, s)
+		}
+	}
 	schemes := bench.SchemeScenarios()
 	selectedSch := schemes[:0]
 	for _, s := range schemes {
@@ -191,6 +204,9 @@ func main() {
 		for _, s := range selectedS {
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "serve/estimate", s.Topology, s.N, s.Quick)
 		}
+		for _, s := range selectedC {
+			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "cluster/x"+fmt.Sprint(s.Daemons), s.Topology, s.N, s.Quick)
+		}
 		for _, s := range selectedSch {
 			sp := s.Spec.Normalized()
 			fmt.Printf("%-28s %-12s %-9s n=%-5d quick=%v\n", s.Name, "scheme/"+sp.Scheme, sp.Topology, sp.N, s.Quick)
@@ -205,7 +221,7 @@ func main() {
 		}
 		return
 	}
-	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedSch) + len(selectedSD) + len(selectedU)
+	total := len(selected) + len(selectedB) + len(selectedQ) + len(selectedS) + len(selectedC) + len(selectedSch) + len(selectedSD) + len(selectedU)
 	if total == 0 {
 		fmt.Fprintln(os.Stderr, "pde-bench: no scenario matches the selection")
 		os.Exit(2)
@@ -215,8 +231,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d scheme, %d setdist, %d update), GOMAXPROCS=%d\n",
-		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedSch), len(selectedSD), len(selectedU), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pde-bench: %d scenarios (%d construction, %d build, %d query, %d serve, %d cluster, %d scheme, %d setdist, %d update), GOMAXPROCS=%d\n",
+		total, len(selected), len(selectedB), len(selectedQ), len(selectedS), len(selectedC), len(selectedSch), len(selectedSD), len(selectedU), runtime.GOMAXPROCS(0))
 	failed := 0
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
@@ -315,6 +331,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ok   %-28s queries=%-8d inproc=%.2fMq/s serve=%.2fMq/s ratio=%.2f avg_batch=%.0f\n",
 			s.Name, rep.Queries, rep.InprocQPS/1e6, rep.ServeQPS/1e6, rep.Ratio, rep.ServerAvgBatch)
+	}
+	for _, s := range selectedC {
+		rep, err := bench.RunClusterScenario(s, queryCache)
+		if err != nil {
+			fail(s.Name, err)
+			continue
+		}
+		data, err := rep.JSON()
+		if err != nil {
+			fail(s.Name, fmt.Errorf("marshal: %w", err))
+			continue
+		}
+		if !writeAndCheck(s.Name, rep.Filename(), data) {
+			continue
+		}
+		line := fmt.Sprintf("ok   %-28s queries=%-8d", s.Name, rep.Queries)
+		for _, p := range rep.Scaling {
+			line += fmt.Sprintf(" x%d=%.2fMq/s", p.Daemons, p.QPS/1e6)
+		}
+		line += fmt.Sprintf(" failover_worst=%.1fms failovers=%d",
+			float64(rep.Failover.WorstBatchNS)/1e6, rep.Failover.Failovers)
+		fmt.Fprintln(os.Stderr, line)
 	}
 	for _, s := range selectedSch {
 		rep, err := bench.RunSchemeScenario(s)

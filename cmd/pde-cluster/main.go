@@ -1,0 +1,96 @@
+// Command pde-cluster is the multi-daemon coordinator: it fronts N
+// pde-serve daemons behind one wire-compatible endpoint, placing named
+// shards by rendezvous hashing over the daemons that serve them,
+// health-probing the fleet, failing queries over to healthy replicas
+// with retry and backoff, and propagating /v1/rebuild and /v1/update
+// to every replica with a fingerprint-agreement check (it refuses to
+// report success when replicas diverge).
+//
+// Usage:
+//
+//	pde-cluster -daemons http://127.0.0.1:7481,http://127.0.0.1:7482
+//	            [-addr :7480] [-probe-interval 500ms] [-probe-timeout 2s]
+//	            [-attempt-timeout 15s] [-admin-timeout 10m]
+//	            [-retries 2] [-retry-backoff 25ms]
+//
+// A shard is replicated by configuring it (same name, same spec) on
+// more than one daemon; the coordinator discovers the placement from
+// the live daemons at boot and refuses to start if replicas of a shard
+// already serve different fingerprints. Query clients point pde-query
+// (or anything speaking the daemon protocol) at the coordinator; the
+// placement and health view is served on /v1/cluster. Semantics are
+// documented in docs/cluster.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pde/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":7480", "listen address")
+	daemons := flag.String("daemons", "", "comma-separated pde-serve base URLs (required)")
+	probeInterval := flag.Duration("probe-interval", 0, "health probe period per daemon (0 = default 500ms)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "single probe timeout (0 = default 2s)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "single forwarded-query attempt timeout (0 = default 15s)")
+	adminTimeout := flag.Duration("admin-timeout", 0, "per-replica rebuild/update timeout (0 = default 10m)")
+	retries := flag.Int("retries", 0, "extra failover passes over the replica set (0 = default 2, negative disables retries)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "sleep before the second pass, doubling per pass (0 = default 25ms)")
+	flag.Parse()
+
+	if *daemons == "" {
+		fmt.Fprintln(os.Stderr, "pde-cluster: -daemons is required (comma-separated pde-serve base URLs)")
+		os.Exit(2)
+	}
+	cfg := cluster.Config{
+		Daemons:        strings.Split(*daemons, ","),
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		AttemptTimeout: *attemptTimeout,
+		AdminTimeout:   *adminTimeout,
+		Retries:        *retries,
+		RetryBackoff:   *retryBackoff,
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pde-cluster: %v\n", err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+	for _, shard := range coord.Shards() {
+		fmt.Fprintf(os.Stderr, "pde-cluster: shard %q -> %v\n", shard, coord.Placement(shard))
+	}
+	fmt.Fprintf(os.Stderr, "pde-cluster: fronting %d daemon(s), listening on %s\n",
+		len(strings.Split(*daemons, ",")), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: coord}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "pde-cluster: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "pde-cluster: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "pde-cluster: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

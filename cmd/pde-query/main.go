@@ -35,6 +35,13 @@
 //	-legacy       serve from the legacy scan path instead of the oracle
 //	-json         emit a machine-readable summary instead of prose
 //
+// Cluster mode points the same remote workloads at a pde-cluster
+// coordinator instead of a single daemon: every request is routed (and
+// failed over) by the coordinator, and the run starts with a topology
+// banner on stderr listing the daemons and shard placements behind it:
+//
+//	pde-query -cluster http://127.0.0.1:7480 [-shard main] [every remote flag]
+//
 // Remote mode turns the same load generator into the stress tool for the
 // pde-serve daemon (internal/server): instead of building tables locally
 // it discovers the target shard's size from /v1/stats and fires the query
@@ -80,6 +87,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -90,6 +98,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pde/internal/cluster"
 	"pde/internal/congest"
 	"pde/internal/core"
 	"pde/internal/graph"
@@ -150,6 +159,7 @@ func main() {
 	legacy := flag.Bool("legacy", false, "serve from the legacy scan path instead of the oracle")
 	asJSON := flag.Bool("json", false, "emit a JSON summary")
 	remote := flag.String("remote", "", "base URL of a pde-serve daemon; fire the stream over HTTP instead of building locally")
+	clusterURL := flag.String("cluster", "", "base URL of a pde-cluster coordinator; like -remote but prints the cluster topology first and routes every request through the coordinator")
 	shard := flag.String("shard", "main", "remote mode: shard to target")
 	batch := flag.Int("batch", 4096, "remote mode: queries per request")
 	codec := flag.String("codec", "binary", "remote mode: binary | json batch bodies (route is always json)")
@@ -162,6 +172,17 @@ func main() {
 	updateVerify := flag.Bool("update-verify", false, "-updates: ask the daemon to verify every update against a from-scratch build before publishing")
 	flag.Parse()
 
+	if *clusterURL != "" {
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "pde-query: use either -remote or -cluster, not both")
+			os.Exit(2)
+		}
+		// The coordinator is wire-compatible with a daemon, so cluster
+		// mode is remote mode pointed at it — plus a topology banner so
+		// a run's logs show which daemons were behind it.
+		describeCluster(*clusterURL)
+		*remote = *clusterURL
+	}
 	if *setDist && *remote == "" {
 		fmt.Fprintln(os.Stderr, "pde-query: -setdist is a remote mode; point it at a daemon with -remote")
 		os.Exit(2)
@@ -491,8 +512,9 @@ func runRemote(opt remoteOpts) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ctx := context.Background()
 	client := &server.Client{BaseURL: opt.base, Shard: opt.shard}
-	st, err := client.Stats()
+	st, err := client.Stats(ctx)
 	if err != nil {
 		fail("fetching /v1/stats from %s: %v", opt.base, err)
 	}
@@ -526,13 +548,15 @@ func runRemote(opt remoteOpts) {
 	// workers (server.SplitSpans + server.DriveBatches, the same harness
 	// the serving benchmark uses). Each worker gets its own Transport so
 	// its connection actually stays warm: pooling all workers through
-	// http.DefaultTransport would cap idle connections at its
-	// MaxIdleConnsPerHost of 2 and make the others re-dial per batch.
+	// one transport would cap idle connections at MaxIdleConnsPerHost
+	// and make the others re-dial per batch. server.DefaultTransport
+	// carries the package's dial/response-header timeouts, so a hung
+	// daemon fails the run instead of blocking it forever.
 	spans := server.SplitSpans(len(qs), opt.batch)
 	cls := make([]*server.Client, workers)
 	for w := range cls {
 		cls[w] = &server.Client{BaseURL: opt.base, Shard: opt.shard,
-			HTTP: &http.Client{Transport: &http.Transport{}}}
+			HTTP: &http.Client{Transport: server.DefaultTransport()}}
 	}
 	var delivered atomic.Int64
 	t0 := time.Now()
@@ -540,7 +564,7 @@ func runRemote(opt remoteOpts) {
 		part := qs[spans[i].Lo:spans[i].Hi]
 		switch opt.workload {
 		case "estimate":
-			answers, _, err := cls[w].Estimate(part, opt.codec == "json")
+			answers, _, err := cls[w].Estimate(ctx, part, opt.codec == "json")
 			if err != nil {
 				return err
 			}
@@ -550,7 +574,7 @@ func runRemote(opt remoteOpts) {
 				}
 			}
 		case "nexthop":
-			hops, _, err := cls[w].NextHop(part, opt.codec == "json")
+			hops, _, err := cls[w].NextHop(ctx, part, opt.codec == "json")
 			if err != nil {
 				return err
 			}
@@ -564,7 +588,7 @@ func runRemote(opt remoteOpts) {
 			for j, q := range part {
 				pairs[j] = server.WirePair{From: q.V, To: q.S}
 			}
-			resp, err := cls[w].Route(pairs)
+			resp, err := cls[w].Route(ctx, pairs)
 			if err != nil {
 				return err
 			}
@@ -626,8 +650,9 @@ func runSetDist(opt setDistOpts) {
 	if opt.sizeA <= 0 || opt.sizeB <= 0 {
 		fail("-set-a and -set-b must be positive (got %d, %d)", opt.sizeA, opt.sizeB)
 	}
+	ctx := context.Background()
 	client := &server.Client{BaseURL: opt.base, Shard: opt.shard}
-	st, err := client.Stats()
+	st, err := client.Stats(ctx)
 	if err != nil {
 		fail("fetching /v1/stats from %s: %v", opt.base, err)
 	}
@@ -648,7 +673,7 @@ func runSetDist(opt setDistOpts) {
 	}
 
 	t0 := time.Now()
-	resp, err := client.SetDist(a, b, opt.naive, opt.codec == "json")
+	resp, err := client.SetDist(ctx, a, b, opt.naive, opt.codec == "json")
 	wall := time.Since(t0)
 	if err != nil {
 		fail("setdist: %v", err)
@@ -721,8 +746,9 @@ func runUpdates(opt updateOpts) {
 		fmt.Fprintf(os.Stderr, "pde-query: "+format+"\n", args...)
 		os.Exit(1)
 	}
+	ctx := context.Background()
 	client := &server.Client{BaseURL: opt.base, Shard: opt.shard}
-	st, err := client.Stats()
+	st, err := client.Stats(ctx)
 	if err != nil {
 		fail("fetching /v1/stats from %s: %v", opt.base, err)
 	}
@@ -766,7 +792,7 @@ func runUpdates(opt updateOpts) {
 		if err != nil {
 			fail("step %d: mirroring reweight locally: %v", step, err)
 		}
-		resp, err := client.Update(server.UpdateRequest{
+		resp, err := client.Update(ctx, server.UpdateRequest{
 			Changes: []server.WireChange{{Op: "reweight", U: c.U, V: c.V, W: c.W}},
 			Verify:  opt.verify,
 		})
@@ -795,7 +821,7 @@ func runUpdates(opt updateOpts) {
 	}
 
 	// The stream's final generation must be what the daemon now serves.
-	st, err = client.Stats()
+	st, err = client.Stats(ctx)
 	if err != nil {
 		fail("re-fetching /v1/stats: %v", err)
 	}
@@ -819,4 +845,28 @@ func runUpdates(opt updateOpts) {
 		opt.shard, g.N(), sum.Updates, sum.DeltaUpdates, sum.RebuildUpdates, sum.Verified, sum.AvgDamage)
 	fmt.Printf("pde-query: applied in %.1fms (%.1f updates/sec), serving fingerprint %s\n",
 		float64(sum.WallNS)/1e6, sum.UpdatesPerSec, sum.Fingerprint)
+}
+
+// describeCluster prints the coordinator's topology to stderr (stdout
+// stays machine-readable for -json runs) and exits if the target is not
+// a reachable pde-cluster coordinator.
+func describeCluster(base string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := cluster.FetchStatus(ctx, base, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pde-query: fetching /v1/cluster from %s: %v\n", base, err)
+		os.Exit(1)
+	}
+	healthy := 0
+	for _, d := range st.Daemons {
+		if d.Healthy {
+			healthy++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pde-query: cluster %s — %d/%d daemons healthy, %d shard(s)\n",
+		base, healthy, len(st.Daemons), len(st.Shards))
+	for name, pl := range st.Shards {
+		fmt.Fprintf(os.Stderr, "pde-query:   shard %q -> %v (%d healthy)\n", name, pl.Replicas, pl.Healthy)
+	}
 }

@@ -1,0 +1,449 @@
+package bench
+
+// This file is the fleet-boundary companion of serve.go: where
+// BENCH_serve_*.json measures one daemon on a loopback listener,
+// BENCH_cluster_*.json measures the same tables behind the pde-cluster
+// coordinator (internal/cluster) fronting 1..Daemons replicated
+// pde-serve daemons — routing, health probing and failover included.
+// The identical seeded query stream runs at every fleet size, every
+// answer is compared with the in-process baseline, and a final run
+// kills the primary replica mid-stream and asserts zero lost, wrong,
+// or generation-mismatched answers.
+//
+// On a one-core box the scaling curve is expected to be flat (all
+// daemons share the core; see the gomaxprocs field) — the artifact's
+// point is the coordinator's overhead and the failover guarantees, and
+// on wider machines the same artifact records real scaling.
+//
+// # BENCH_cluster_*.json schema (schema id "pde-cluster/v1")
+//
+//	schema            string  – always "pde-cluster/v1"
+//	name              string  – scenario name (also in the filename)
+//	workload          string  – estimate (the routed hot path)
+//	topology, n, m, seed, params – instance description, as in pde-serve/v1
+//	queries           int     – point lookups per pass (n², seeded uniform)
+//	batch             int     – queries per HTTP request
+//	clients           int     – concurrent client goroutines
+//	build_ns          int64   – wall clock of the table construction
+//	inproc_wall_ns    int64   – single-threaded in-process baseline over
+//	                            the identical stream (best of two passes,
+//	                            as is every routed pass below)
+//	inproc_qps        float64 – queries/sec of that baseline
+//	scaling           array   – one entry per fleet size d = 1..daemons:
+//	                            {daemons, wall_ns, qps, speedup_vs_one}
+//	failover          object  – the kill-one-replica-mid-stream run at the
+//	                            largest fleet size: {daemons, killed_primary,
+//	                            wall_ns, qps, worst_batch_ns (the batch that
+//	                            straddles the kill pays the failover), lost,
+//	                            wrong, generation_mismatches, failovers}
+//	answers_match     bool    – every routed answer in every run equals the
+//	                            in-process one (a mismatch fails the run)
+//	fingerprint       string  – build fingerprint of the served tables
+//	gomaxprocs        int     – scheduler width the run observed
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"pde/internal/cluster"
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/oracle"
+	"pde/internal/server"
+)
+
+// ClusterSchemaID identifies the multi-daemon serving report format.
+const ClusterSchemaID = "pde-cluster/v1"
+
+// ClusterScenario is one cell of the cluster benchmark matrix.
+type ClusterScenario struct {
+	// Name must start with "cluster_" so the artifact is BENCH_cluster_*.json.
+	Name     string
+	Topology string
+	N        int
+	Seed     int64
+	Quick    bool
+	Params   map[string]float64
+	// Batch is queries per HTTP request; Clients the concurrent client
+	// goroutines; Daemons the largest fleet size (the scaling loop runs
+	// 1..Daemons, the failover run at Daemons).
+	Batch   int
+	Clients int
+	Daemons int
+	// Spec mirrors the scenario for the daemons' stats/rebuild surface.
+	Spec server.Spec
+	// PrepareKey shares built tables with other scenarios (QueryCache).
+	PrepareKey string
+	Build      func() *graph.Graph
+	Prepare    func(g *graph.Graph, cfg congest.Config) (*core.Result, error)
+}
+
+// ScalingPoint is one fleet size's measured throughput.
+type ScalingPoint struct {
+	Daemons      int     `json:"daemons"`
+	WallNS       int64   `json:"wall_ns"`
+	QPS          float64 `json:"qps"`
+	SpeedupVsOne float64 `json:"speedup_vs_one"`
+}
+
+// FailoverReport is the kill-one-replica-mid-stream run.
+type FailoverReport struct {
+	Daemons              int     `json:"daemons"`
+	KilledPrimary        bool    `json:"killed_primary"`
+	WallNS               int64   `json:"wall_ns"`
+	QPS                  float64 `json:"qps"`
+	WorstBatchNS         int64   `json:"worst_batch_ns"`
+	Lost                 int     `json:"lost"`
+	Wrong                int     `json:"wrong"`
+	GenerationMismatches int     `json:"generation_mismatches"`
+	Failovers            int64   `json:"failovers"`
+}
+
+// ClusterReport is the BENCH_cluster_*.json payload. See the schema
+// comment.
+type ClusterReport struct {
+	Schema       string             `json:"schema"`
+	Name         string             `json:"name"`
+	Workload     string             `json:"workload"`
+	Topology     string             `json:"topology"`
+	N            int                `json:"n"`
+	M            int                `json:"m"`
+	Seed         int64              `json:"seed"`
+	Params       map[string]float64 `json:"params,omitempty"`
+	Queries      int                `json:"queries"`
+	Batch        int                `json:"batch"`
+	Clients      int                `json:"clients"`
+	BuildNS      int64              `json:"build_ns"`
+	InprocWallNS int64              `json:"inproc_wall_ns"`
+	InprocQPS    float64            `json:"inproc_qps"`
+	Scaling      []ScalingPoint     `json:"scaling"`
+	Failover     FailoverReport     `json:"failover"`
+	AnswersMatch bool               `json:"answers_match"`
+	Fingerprint  string             `json:"fingerprint"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+}
+
+// Filename returns the artifact name for this report.
+func (r *ClusterReport) Filename() string { return "BENCH_" + r.Name + ".json" }
+
+// JSON marshals the report, indented for human diffing.
+func (r *ClusterReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// clusterFleet is d daemons serving the same prebuilt shard behind one
+// coordinator, all on loopback listeners.
+type clusterFleet struct {
+	daemons []*httptest.Server
+	coord   *cluster.Coordinator
+	front   *httptest.Server
+	servers []*server.Server
+}
+
+func (f *clusterFleet) close() {
+	if f.front != nil {
+		f.front.Close()
+	}
+	if f.coord != nil {
+		f.coord.Close()
+	}
+	for _, ts := range f.daemons {
+		ts.Close()
+	}
+	for _, srv := range f.servers {
+		srv.Close()
+	}
+}
+
+func bootFleet(s ClusterScenario, d int, g *graph.Graph, res *core.Result, buildNS int64) (*clusterFleet, error) {
+	f := &clusterFleet{}
+	urls := make([]string, d)
+	for i := 0; i < d; i++ {
+		srv, err := server.NewWithPrebuilt(server.Config{},
+			server.Prebuilt{Name: "hot", Spec: s.Spec, G: g, Res: res, BuildNS: buildNS})
+		if err != nil {
+			f.close()
+			return nil, fmt.Errorf("daemon %d: %w", i, err)
+		}
+		ts := httptest.NewServer(srv)
+		f.servers = append(f.servers, srv)
+		f.daemons = append(f.daemons, ts)
+		urls[i] = ts.URL
+	}
+	coord, err := cluster.New(cluster.Config{
+		Daemons:       urls,
+		ProbeInterval: 100 * time.Millisecond,
+		RetryBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		f.close()
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	f.coord = coord
+	f.front = httptest.NewServer(coord)
+	return f, nil
+}
+
+// RunClusterScenario builds (or reuses) the scenario's tables, measures
+// the in-process baseline, then runs the identical seeded stream
+// through the coordinator at every fleet size 1..Daemons and finally
+// once more at the largest size while killing the primary replica
+// mid-stream.
+func RunClusterScenario(s ClusterScenario, cache *QueryCache) (*ClusterReport, error) {
+	var prep *preparedTables
+	if cache != nil && s.PrepareKey != "" {
+		prep = cache.m[s.PrepareKey]
+	}
+	var g *graph.Graph
+	if prep != nil {
+		g = prep.g
+	} else {
+		g = s.Build()
+	}
+	if s.N != 0 && s.N != g.N() {
+		return nil, fmt.Errorf("bench %s: scenario says n=%d but graph has %d nodes", s.Name, s.N, g.N())
+	}
+	if prep == nil {
+		t0 := time.Now()
+		res, err := s.Prepare(g, congest.Config{Parallel: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: prepare: %w", s.Name, err)
+		}
+		prep = &preparedTables{
+			g: g, res: res, o: oracle.Compile(res),
+			buildNS: time.Since(t0).Nanoseconds(),
+		}
+		if cache != nil && s.PrepareKey != "" {
+			cache.m[s.PrepareKey] = prep
+		}
+	}
+	res, o := prep.res, prep.o
+
+	n := g.N()
+	batch := s.Batch
+	if batch <= 0 {
+		batch = 4096
+	}
+	clients := s.Clients
+	if clients <= 0 {
+		clients = 2
+	}
+	fleetMax := s.Daemons
+	if fleetMax <= 0 {
+		fleetMax = 3
+	}
+	rep := &ClusterReport{
+		Schema:      ClusterSchemaID,
+		Name:        s.Name,
+		Workload:    "estimate",
+		Topology:    s.Topology,
+		N:           n,
+		M:           g.M(),
+		Seed:        s.Seed,
+		Params:      s.Params,
+		Queries:     n * n,
+		Batch:       batch,
+		Clients:     clients,
+		BuildNS:     prep.buildNS,
+		Fingerprint: fmt.Sprintf("%016x", res.Fingerprint()),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+
+	// The identical seeded uniform stream serve.go uses, so the two
+	// artifacts' throughputs are directly comparable.
+	qrng := rng(s.Seed + 7477)
+	qs := make([]oracle.Query, n*n)
+	for i := range qs {
+		qs[i] = oracle.Query{V: int32(qrng.Intn(n)), S: int32(qrng.Intn(n))}
+	}
+	runtime.GC()
+	want := make([]oracle.Answer, len(qs))
+	var inprocWall time.Duration
+	for pass := 0; pass < 2; pass++ {
+		t0 := time.Now()
+		o.AnswerAll(qs, want)
+		if d := time.Since(t0); pass == 0 || d < inprocWall {
+			inprocWall = d
+		}
+	}
+	rep.InprocWallNS = inprocWall.Nanoseconds()
+	rep.InprocQPS = qps(len(qs), inprocWall)
+
+	spans := server.SplitSpans(len(qs), batch)
+	got := make([]oracle.Answer, len(qs))
+	fps := make([]string, len(spans))
+	batchNS := make([]int64, len(spans))
+
+	// firePass drives the full stream through a coordinator; each batch
+	// records its own wall clock and fingerprint stamp.
+	firePass := func(front string, onBatch func(i int)) (time.Duration, error) {
+		cls := make([]*server.Client, clients)
+		for c := range cls {
+			cls[c] = &server.Client{BaseURL: front, Shard: "hot"}
+		}
+		runtime.GC()
+		t0 := time.Now()
+		err := server.DriveBatches(clients, len(spans), func(c, i int) error {
+			if onBatch != nil {
+				onBatch(i)
+			}
+			b0 := time.Now()
+			answers, fp, err := cls[c].Estimate(context.Background(), qs[spans[i].Lo:spans[i].Hi], false)
+			if err != nil {
+				return err
+			}
+			batchNS[i] = time.Since(b0).Nanoseconds()
+			copy(got[spans[i].Lo:spans[i].Hi], answers)
+			fps[i] = fp
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+	verify := func(run string) error {
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("bench %s: %s: answer %d diverges: got %+v, want %+v", s.Name, run, i, got[i], want[i])
+			}
+		}
+		for i, fp := range fps {
+			if fp != rep.Fingerprint {
+				return fmt.Errorf("bench %s: %s: batch %d stamped generation %s, want %s", s.Name, run, i, fp, rep.Fingerprint)
+			}
+		}
+		return nil
+	}
+	reset := func() {
+		for i := range got {
+			got[i] = oracle.Answer{}
+		}
+		for i := range fps {
+			fps[i] = ""
+		}
+	}
+
+	// Scaling loop: the identical stream at every fleet size.
+	var oneQPS float64
+	for d := 1; d <= fleetMax; d++ {
+		fleet, err := bootFleet(s, d, g, res, prep.buildNS)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: fleet of %d: %w", s.Name, d, err)
+		}
+		var wall time.Duration
+		for pass := 0; pass < 2; pass++ {
+			reset()
+			w, err := firePass(fleet.front.URL, nil)
+			if err != nil {
+				fleet.close()
+				return nil, fmt.Errorf("bench %s: fleet of %d, pass %d: %w", s.Name, d, pass, err)
+			}
+			if err := verify(fmt.Sprintf("fleet of %d", d)); err != nil {
+				fleet.close()
+				return nil, err
+			}
+			if pass == 0 || w < wall {
+				wall = w
+			}
+		}
+		fleet.close()
+		point := ScalingPoint{Daemons: d, WallNS: wall.Nanoseconds(), QPS: qps(len(qs), wall)}
+		if d == 1 {
+			oneQPS = point.QPS
+		}
+		if oneQPS > 0 {
+			point.SpeedupVsOne = point.QPS / oneQPS
+		}
+		rep.Scaling = append(rep.Scaling, point)
+	}
+
+	// Failover run: largest fleet, primary killed once the stream is
+	// halfway claimed. Zero lost, wrong, or generation-mismatched
+	// answers is the contract; the batch that straddles the kill pays
+	// the failover and shows up as worst_batch_ns.
+	fleet, err := bootFleet(s, fleetMax, g, res, prep.buildNS)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: failover fleet: %w", s.Name, err)
+	}
+	defer fleet.close()
+	primary := fleet.coord.Placement("hot")[0]
+	var victim *httptest.Server
+	for _, ts := range fleet.daemons {
+		if ts.URL == primary {
+			victim = ts
+		}
+	}
+	if victim == nil {
+		return nil, fmt.Errorf("bench %s: primary %s is not a booted daemon", s.Name, primary)
+	}
+	var killOnce sync.Once
+	reset()
+	wall, err := firePass(fleet.front.URL, func(i int) {
+		if i >= len(spans)/2 {
+			killOnce.Do(func() {
+				victim.Listener.Close()
+				victim.CloseClientConnections()
+			})
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: failover run lost a batch: %w", s.Name, err)
+	}
+	fo := FailoverReport{Daemons: fleetMax, KilledPrimary: true, WallNS: wall.Nanoseconds(), QPS: qps(len(qs), wall)}
+	for i := range got {
+		if got[i] != want[i] {
+			fo.Wrong++
+		}
+	}
+	for i, fp := range fps {
+		if fp == "" {
+			fo.Lost++
+		} else if fp != rep.Fingerprint {
+			fo.GenerationMismatches++
+		}
+		if batchNS[i] > fo.WorstBatchNS {
+			fo.WorstBatchNS = batchNS[i]
+		}
+	}
+	st, err := cluster.FetchStatus(context.Background(), fleet.front.URL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: cluster status after failover: %w", s.Name, err)
+	}
+	fo.Failovers = st.Failovers
+	rep.Failover = fo
+	if fo.Lost > 0 || fo.Wrong > 0 || fo.GenerationMismatches > 0 {
+		return nil, fmt.Errorf("bench %s: failover run violated the contract: %d lost, %d wrong, %d generation-mismatched",
+			s.Name, fo.Lost, fo.Wrong, fo.GenerationMismatches)
+	}
+	rep.AnswersMatch = true
+	return rep, nil
+}
+
+// ClusterScenarios returns the multi-daemon serving matrix: one n=256
+// APSP cell small enough for the CI smoke yet large enough that a
+// query batch meaningfully outweighs the coordinator's per-request
+// work.
+func ClusterScenarios() []ClusterScenario {
+	return []ClusterScenario{{
+		Name:       "cluster_estimate-apsp-n256",
+		Topology:   "random",
+		N:          256,
+		Seed:       4,
+		Quick:      true,
+		Params:     map[string]float64{"eps": 1, "maxw": 4},
+		Batch:      4096,
+		Clients:    2,
+		Daemons:    3,
+		Spec:       server.Spec{Topology: "random", N: 256, Eps: 1, MaxW: 4, Seed: 4},
+		PrepareKey: "apsp-random-n256-eps1",
+		Build:      func() *graph.Graph { return graph.RandomConnected(256, 8.0/256, 4, rng(4)) },
+		Prepare: func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			return core.Run(g, core.APSPParams(g.N(), 1), cfg)
+		},
+	}}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pde/internal/congest"
+	"pde/internal/core"
+	"pde/internal/graph"
+	"pde/internal/server"
+)
+
+// smallClusterScenario is a fast cell for tests: same shape as the real
+// matrix, tiny instance, two daemons.
+func smallClusterScenario() ClusterScenario {
+	return ClusterScenario{
+		Name:     "cluster_estimate-apsp-n48",
+		Topology: "random",
+		N:        48,
+		Seed:     4,
+		Batch:    256,
+		Clients:  2,
+		Daemons:  2,
+		Params:   map[string]float64{"eps": 1, "maxw": 4},
+		Spec:     server.Spec{Topology: "random", N: 48, Eps: 1, MaxW: 4, Seed: 4},
+		Build:    func() *graph.Graph { return graph.RandomConnected(48, 8.0/48, 4, rng(4)) },
+		Prepare: func(g *graph.Graph, cfg congest.Config) (*core.Result, error) {
+			return core.Run(g, core.APSPParams(g.N(), 1), cfg)
+		},
+	}
+}
+
+// TestRunClusterScenario drives the full multi-daemon benchmark path on
+// a small instance: tables built once, fleets of 1 and 2 booted behind
+// a coordinator, every routed answer compared with the in-process
+// baseline, and the primary killed mid-stream with the zero-lost
+// contract enforced.
+func TestRunClusterScenario(t *testing.T) {
+	rep, err := RunClusterScenario(smallClusterScenario(), NewQueryCache())
+	if err != nil {
+		t.Fatalf("RunClusterScenario: %v", err)
+	}
+	if rep.Schema != ClusterSchemaID {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ClusterSchemaID)
+	}
+	if rep.Queries != 48*48 || !rep.AnswersMatch {
+		t.Fatalf("report: queries=%d answers_match=%v", rep.Queries, rep.AnswersMatch)
+	}
+	if len(rep.Scaling) != 2 {
+		t.Fatalf("scaling has %d points, want 2: %+v", len(rep.Scaling), rep.Scaling)
+	}
+	for i, p := range rep.Scaling {
+		if p.Daemons != i+1 || p.QPS <= 0 || p.WallNS <= 0 {
+			t.Fatalf("scaling point %d: %+v", i, p)
+		}
+	}
+	fo := rep.Failover
+	if fo.Daemons != 2 || !fo.KilledPrimary || fo.QPS <= 0 || fo.WorstBatchNS <= 0 {
+		t.Fatalf("failover run: %+v", fo)
+	}
+	if fo.Lost != 0 || fo.Wrong != 0 || fo.GenerationMismatches != 0 {
+		t.Fatalf("failover run violated the contract: %+v", fo)
+	}
+	if rep.Filename() != "BENCH_cluster_estimate-apsp-n48.json" {
+		t.Fatalf("filename = %q", rep.Filename())
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"schema", "fingerprint", "n", "m", "seed", "queries", "scaling", "failover", "answers_match"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("report JSON is missing %q", key)
+		}
+	}
+}
+
+// TestClusterScenariosRegistered pins the committed matrix: the n=256
+// cell exists, is quick (runs in CI), and scales to three daemons.
+func TestClusterScenariosRegistered(t *testing.T) {
+	list := ClusterScenarios()
+	if len(list) == 0 {
+		t.Fatal("no cluster scenarios registered")
+	}
+	s := list[0]
+	if s.Name != "cluster_estimate-apsp-n256" || !s.Quick {
+		t.Fatalf("first cluster scenario = %q quick=%v", s.Name, s.Quick)
+	}
+	if s.Daemons != 3 {
+		t.Fatalf("n256 cluster cell must scale to 3 daemons, got %d", s.Daemons)
+	}
+}

@@ -40,6 +40,7 @@ package bench
 //	gomaxprocs         int     – scheduler width the run observed
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -230,7 +231,7 @@ func RunServeScenario(s ServeScenario, cache *QueryCache) (*ServeReport, error) 
 		runtime.GC()
 		t0 := time.Now()
 		err := server.DriveBatches(clients, len(spans), func(c, i int) error {
-			answers, _, err := cls[c].Estimate(qs[spans[i].Lo:spans[i].Hi], false)
+			answers, _, err := cls[c].Estimate(context.Background(), qs[spans[i].Lo:spans[i].Hi], false)
 			if err != nil {
 				return err
 			}
@@ -266,7 +267,7 @@ func RunServeScenario(s ServeScenario, cache *QueryCache) (*ServeReport, error) 
 	}
 
 	cl := &server.Client{BaseURL: ts.URL, Shard: "bench", HTTP: ts.Client()}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: stats: %w", s.Name, err)
 	}

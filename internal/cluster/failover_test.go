@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pde/internal/oracle"
+	"pde/internal/server"
+)
+
+// TestClusterKillOneReplicaMidStream is the failover acceptance test:
+// a seeded query stream runs against a 3-daemon replicated shard
+// through the coordinator while the primary replica is killed
+// mid-stream. Every batch must come back, every answer must equal the
+// single-daemon reference, and every response must carry the one live
+// fingerprint — zero lost, wrong, or generation-mismatched answers.
+func TestClusterKillOneReplicaMidStream(t *testing.T) {
+	daemons := bootDaemons(t, []map[string]server.Spec{
+		{"hot": hotSpec}, {"hot": hotSpec}, {"hot": hotSpec},
+	})
+	coord, cts := newCoordinator(t, daemons)
+	ctx := context.Background()
+
+	// Seeded stream: 48 batches of 16 queries, derived from the shard
+	// size the same way every test in this repo derives workloads.
+	const batches, perBatch = 48, 16
+	n := hotSpec.N
+	queries := make([][]oracle.Query, batches)
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := range queries {
+		qs := make([]oracle.Query, perBatch)
+		for j := range qs {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			qs[j] = oracle.Query{V: int32((seed >> 33) % uint64(n)), S: int32((seed >> 17) % uint64(n))}
+		}
+		queries[i] = qs
+	}
+
+	// Reference answers from one daemon directly, before any failure.
+	ref := &server.Client{BaseURL: daemons[0].url(), Shard: "hot"}
+	want := make([][]oracle.Answer, batches)
+	var wantFP string
+	for i, qs := range queries {
+		ans, fp, err := ref.Estimate(ctx, qs, false)
+		if err != nil {
+			t.Fatalf("reference batch %d: %v", i, err)
+		}
+		want[i] = ans
+		if wantFP == "" {
+			wantFP = fp
+		}
+	}
+
+	// The victim is the shard's current primary — the replica the
+	// router tries first, so its death is guaranteed to be on the path.
+	victimURL := coord.Placement("hot")[0]
+	var victim *testDaemon
+	for _, d := range daemons {
+		if d.url() == victimURL {
+			victim = d
+		}
+	}
+	if victim == nil {
+		t.Fatalf("primary %s is not one of the booted daemons", victimURL)
+	}
+
+	// Drive the stream through the coordinator with two workers, and
+	// kill the primary once the stream is halfway claimed.
+	cls := []*server.Client{
+		{BaseURL: cts.URL, Shard: "hot"},
+		{BaseURL: cts.URL, Shard: "hot"},
+	}
+	got := make([][]oracle.Answer, batches)
+	fps := make([]string, batches)
+	var killOnce sync.Once
+	err := server.DriveBatches(len(cls), batches, func(c, i int) error {
+		if i >= batches/2 {
+			killOnce.Do(victim.kill)
+		}
+		ans, fp, err := cls[c].Estimate(ctx, queries[i], false)
+		if err != nil {
+			return err
+		}
+		got[i], fps[i] = ans, fp
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream lost a batch to the kill: %v", err)
+	}
+
+	for i := range queries {
+		if got[i] == nil {
+			t.Fatalf("batch %d was never answered", i)
+		}
+		if fps[i] != wantFP {
+			t.Fatalf("batch %d stamped generation %s, want %s", i, fps[i], wantFP)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("batch %d answer %d = %+v, want %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	// The router must have actually failed over, and the prober must
+	// converge on 2 healthy replicas that still agree.
+	st, err := FetchStatus(ctx, cts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failovers == 0 {
+		t.Fatalf("stream survived but the router recorded no failovers: %+v", st)
+	}
+	waitFor(t, "prober to mark the killed replica down", func() bool {
+		st, err := FetchStatus(ctx, cts.URL, nil)
+		return err == nil && st.Shards["hot"].Healthy == 2
+	})
+	st, err = FetchStatus(ctx, cts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := st.Shards["hot"]
+	if !pl.Agree || len(pl.Fingerprints) != 2 {
+		t.Fatalf("survivors diverge after failover: %+v", pl)
+	}
+	for _, fp := range pl.Fingerprints {
+		if fp != wantFP {
+			t.Fatalf("survivor serves %s, want %s", fp, wantFP)
+		}
+	}
+
+	// Queries keep working after convergence, still on the same
+	// generation.
+	post := &server.Client{BaseURL: cts.URL, Shard: "hot"}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, fp, err := post.Estimate(ctx, queries[0], true)
+		if err == nil {
+			if fp != wantFP {
+				t.Fatalf("post-failover answer stamped %s, want %s", fp, wantFP)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-failover query: %v", err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// probeLoop polls one daemon's /healthz until Close. A failed probe
+// marks the daemon down (queries skip it); a successful probe marks it
+// up again and refreshes its shard inventory, re-deriving the placement
+// when the inventory changed — a daemon restarted with different shards
+// is re-placed, not served stale.
+func (c *Coordinator) probeLoop(b *backend) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.probe(b)
+	}
+}
+
+func (c *Coordinator) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	h, err := b.client.Health(ctx)
+	cancel()
+	b.lastProbeUnixNS.Store(time.Now().UnixNano())
+	if err != nil {
+		b.markDown(err)
+		return
+	}
+	shards := append([]string(nil), h.Shards...)
+	sort.Strings(shards)
+	b.mu.Lock()
+	changed := !equalStrings(b.shards, shards)
+	if changed {
+		b.shards = shards
+	}
+	b.mu.Unlock()
+	b.markUp()
+	if changed {
+		c.rebuildTable()
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

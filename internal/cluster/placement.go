@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight hash of a (shard,
+// daemon) pair. Every coordinator ranks a shard's replicas by score, so
+// they all pick the same primary with no shared state, and removing a
+// daemon only reroutes the shards it actually held — the property that
+// makes the placement "consistent".
+func rendezvousScore(shard, daemon string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(daemon))
+	return h.Sum64()
+}
+
+// rebuildTable recomputes shard -> replica placement from the backends'
+// current inventories. Replicas are ordered by descending rendezvous
+// score (ties broken by URL so the order is total); index 0 is the
+// primary.
+func (c *Coordinator) rebuildTable() {
+	table := make(map[string][]*backend)
+	for _, b := range c.backends {
+		for _, shard := range b.inventory() {
+			table[shard] = append(table[shard], b)
+		}
+	}
+	for shard, reps := range table {
+		sort.Slice(reps, func(i, j int) bool {
+			si, sj := rendezvousScore(shard, reps[i].url), rendezvousScore(shard, reps[j].url)
+			if si != sj {
+				return si > sj
+			}
+			return reps[i].url < reps[j].url
+		})
+	}
+	c.mu.Lock()
+	c.table = table
+	c.mu.Unlock()
+}
+
+// replicasFor returns the shard's replicas in failover order, or nil
+// for an unknown shard. The slice is owned by the table — callers only
+// read it, and rebuildTable swaps in fresh slices rather than mutating.
+func (c *Coordinator) replicasFor(shard string) []*backend {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.table[shard]
+}

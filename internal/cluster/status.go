@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"pde/internal/server"
+)
+
+// DaemonStatus is one daemon in the coordinator's health view.
+type DaemonStatus struct {
+	URL                 string   `json:"url"`
+	Healthy             bool     `json:"healthy"`
+	ConsecutiveFailures int64    `json:"consecutive_failures"`
+	LastProbeUnixNS     int64    `json:"last_probe_unix_ns"`
+	LastError           string   `json:"last_error,omitempty"`
+	Shards              []string `json:"shards"`
+}
+
+// ShardPlacement is one shard's replica set: URLs in failover order
+// (primary first), how many answer health probes, each healthy
+// replica's live serving fingerprint, and whether those agree.
+type ShardPlacement struct {
+	Replicas     []string          `json:"replicas"`
+	Healthy      int               `json:"healthy"`
+	Fingerprints map[string]string `json:"fingerprints"`
+	Agree        bool              `json:"agree"`
+}
+
+// StatusResponse is the /v1/cluster body: the coordinator's own view
+// of the fleet plus its routing counters.
+type StatusResponse struct {
+	UptimeNS   int64                     `json:"uptime_ns"`
+	Daemons    []DaemonStatus            `json:"daemons"`
+	Shards     map[string]ShardPlacement `json:"shards"`
+	Proxied    int64                     `json:"proxied"`
+	Failovers  int64                     `json:"failovers"`
+	RetryWaits int64                     `json:"retry_waits"`
+}
+
+// handleClusterStatus reports placement, per-daemon health, and — for
+// every healthy replica — the live serving fingerprint, fetched now
+// rather than cached, so "do the replicas agree" is a question this
+// endpoint answers about the present.
+func (c *Coordinator) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires GET, got %s", r.URL.Path, r.Method)
+		return
+	}
+	fps := c.liveFingerprints(r.Context())
+
+	resp := StatusResponse{
+		UptimeNS:   time.Since(c.start).Nanoseconds(),
+		Shards:     make(map[string]ShardPlacement),
+		Proxied:    c.proxied.Load(),
+		Failovers:  c.failovers.Load(),
+		RetryWaits: c.retryWaits.Load(),
+	}
+	for _, b := range c.backends {
+		b.mu.Lock()
+		lastErr := b.lastErr
+		shards := append([]string(nil), b.shards...)
+		b.mu.Unlock()
+		resp.Daemons = append(resp.Daemons, DaemonStatus{
+			URL:                 b.url,
+			Healthy:             b.healthy.Load(),
+			ConsecutiveFailures: b.consecutiveFails.Load(),
+			LastProbeUnixNS:     b.lastProbeUnixNS.Load(),
+			LastError:           lastErr,
+			Shards:              shards,
+		})
+	}
+
+	c.mu.RLock()
+	for shard, reps := range c.table {
+		pl := ShardPlacement{Fingerprints: make(map[string]string), Agree: true}
+		want, first := "", true
+		for _, b := range reps {
+			pl.Replicas = append(pl.Replicas, b.url)
+			if !b.healthy.Load() {
+				continue
+			}
+			pl.Healthy++
+			fp, ok := fps[b.url][shard]
+			if !ok {
+				continue
+			}
+			pl.Fingerprints[b.url] = fp
+			if first {
+				want, first = fp, false
+			} else if fp != want {
+				pl.Agree = false
+			}
+		}
+		resp.Shards[shard] = pl
+	}
+	c.mu.RUnlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// liveFingerprints polls /v1/stats on every healthy daemon and returns
+// url -> shard -> serving fingerprint. Unreachable daemons are simply
+// absent — the caller treats missing data as "unknown", not "agrees".
+func (c *Coordinator) liveFingerprints(ctx context.Context) map[string]map[string]string {
+	fps := make(map[string]map[string]string, len(c.backends))
+	for _, b := range c.backends {
+		if !b.healthy.Load() {
+			continue
+		}
+		sctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+		st, err := b.client.Stats(sctx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		byShard := make(map[string]string, len(st.Shards))
+		for name, status := range st.Shards {
+			byShard[name] = status.Fingerprint
+		}
+		fps[b.url] = byShard
+	}
+	return fps
+}
+
+// handleStats serves the daemon-shaped /v1/stats so single-daemon
+// tooling (pde-query -remote discovery above all) works unchanged
+// against the coordinator: every placed shard's status, taken from its
+// first healthy replica.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires GET, got %s", r.URL.Path, r.Method)
+		return
+	}
+	resp := server.StatsResponse{
+		UptimeNS:   time.Since(c.start).Nanoseconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     make(map[string]server.ShardStatus),
+	}
+	cached := make(map[string]*server.StatsResponse) // one fetch per daemon
+
+	c.mu.RLock()
+	table := c.table
+	c.mu.RUnlock()
+	for shard, reps := range table {
+		for _, b := range reps {
+			if !b.healthy.Load() {
+				continue
+			}
+			st, ok := cached[b.url]
+			if !ok {
+				sctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
+				fetched, err := b.client.Stats(sctx)
+				cancel()
+				if err != nil {
+					continue
+				}
+				cached[b.url] = fetched
+				st = fetched
+			}
+			if status, ok := st.Shards[shard]; ok {
+				resp.Shards[shard] = status
+				break
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// handleHealthz answers like a daemon: "ok" while every placed shard
+// has at least one healthy replica, "degraded" with a 503 otherwise —
+// load balancers and the CI smoke read the status code alone.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "%s requires GET, got %s", r.URL.Path, r.Method)
+		return
+	}
+	status := "ok"
+	c.mu.RLock()
+	names := make([]string, 0, len(c.table))
+	for shard, reps := range c.table {
+		names = append(names, shard)
+		covered := false
+		for _, b := range reps {
+			if b.healthy.Load() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			status = "degraded"
+		}
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+
+	w.Header().Set("Content-Type", "application/json")
+	if status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(&server.HealthResponse{
+		Status:   status,
+		UptimeNS: time.Since(c.start).Nanoseconds(),
+		Shards:   names,
+	})
+}
+
+// FetchStatus retrieves /v1/cluster from a coordinator — the helper
+// behind pde-query's -cluster topology banner. A nil client uses the
+// hardened package default.
+func FetchStatus(ctx context.Context, base string, hc *http.Client) (*StatusResponse, error) {
+	if hc == nil {
+		hc = &http.Client{Transport: server.DefaultTransport()}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, server.DefaultMaxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s/v1/cluster: HTTP %d: %s", base, resp.StatusCode, truncateForError(data))
+	}
+	var st StatusResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("cluster: decoding /v1/cluster: %w", err)
+	}
+	return &st, nil
+}

@@ -61,6 +61,11 @@ type UpdateOptions struct {
 	// edges. Structure feeds every instance's detection, so this forces
 	// the rebuild path outright.
 	TopologyChanged bool
+	// ForceRebuild skips the delta path regardless of damage — the
+	// knob behind a wire-level damage_threshold of exactly 0, which
+	// means "always rebuild from scratch" rather than "use the
+	// default".
+	ForceRebuild bool
 }
 
 // UpdateStats reports which path an update took and how much of the
@@ -111,7 +116,7 @@ func Update(inst Instance, g *graph.Graph, opt UpdateOptions) (Instance, UpdateS
 // a cold build on g — core.Patch guarantees the underlying Result is.
 func (in *OracleInstance) UpdateGraph(g *graph.Graph, opt UpdateOptions) (Instance, UpdateStats, error) {
 	st := UpdateStats{Path: "rebuild", Damage: 1}
-	if !opt.TopologyChanged && g.SameStructure(in.Gr) {
+	if !opt.TopologyChanged && !opt.ForceRebuild && g.SameStructure(in.Gr) {
 		affected := core.AffectedInstances(g, in.Res)
 		st.InstancesTotal = len(affected)
 		rebuilt := 0

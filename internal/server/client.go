@@ -2,33 +2,97 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
+	"time"
 
 	"pde/internal/oracle"
 )
 
+// DefaultMaxResponseBytes caps how much of a response body the client
+// will buffer (64 MiB). The largest legitimate payload — a full-batch
+// binary answer frame at MaxBatch=65536 — is under 2 MiB, so the cap
+// only triggers on a misbehaving or hostile daemon.
+const DefaultMaxResponseBytes int64 = 64 << 20
+
+// Transport timeouts for the default client. Connection establishment
+// and response headers are bounded separately from the body read, so a
+// daemon that is slow to *answer* fails fast while a daemon that is
+// slow to *stream* a large rebuild response does not: rebuild and
+// update calls can legitimately hold the connection for the length of a
+// table build, which is why there is no whole-request timeout — callers
+// bound that with a context instead.
+const (
+	defaultDialTimeout           = 5 * time.Second
+	defaultTLSHandshakeTimeout   = 5 * time.Second
+	defaultResponseHeaderTimeout = 120 * time.Second
+	defaultIdleConnTimeout       = 90 * time.Second
+)
+
+// DefaultTransport returns a fresh transport with the package's dial
+// and response-header timeouts applied. Each call returns a new value
+// so callers that want per-worker connection pools (pde-query gives
+// every fan-out worker its own transport for connection warmth) can
+// use it directly.
+func DefaultTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   defaultDialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   defaultTLSHandshakeTimeout,
+		ResponseHeaderTimeout: defaultResponseHeaderTimeout,
+		ExpectContinueTimeout: 1 * time.Second,
+		IdleConnTimeout:       defaultIdleConnTimeout,
+		MaxIdleConnsPerHost:   4,
+	}
+}
+
+// defaultHTTPClient backs every Client whose HTTP field is nil. Unlike
+// http.DefaultClient it cannot hang forever on a dead daemon: dials and
+// response headers time out, and every request path accepts a context
+// for end-to-end deadlines.
+var defaultHTTPClient = &http.Client{Transport: DefaultTransport()}
+
 // Client speaks the daemon's wire protocol — the remote mirror of the
-// oracle's batch API. pde-query's -remote mode and the serving benchmark
-// both drive the daemon through it, so the protocol has exactly one
-// client implementation to drift.
+// oracle's batch API. pde-query's -remote mode, the cluster
+// coordinator's forwarding plane, and the serving benchmark all drive
+// daemons through it, so the protocol has exactly one client
+// implementation to drift. Every call takes a context; cancel it to
+// abandon a call mid-flight (the failover retry loop in
+// internal/cluster depends on this).
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7475".
 	BaseURL string
 	// Shard names the shard every call targets.
 	Shard string
-	// HTTP is the underlying client (http.DefaultClient when nil).
+	// HTTP is the underlying client. When nil a shared default with
+	// dial and response-header timeouts is used — never
+	// http.DefaultClient, which has none.
 	HTTP *http.Client
+	// MaxResponseBytes caps response-body buffering
+	// (DefaultMaxResponseBytes when zero). Responses that announce or
+	// deliver more than the cap fail instead of allocating.
+	MaxResponseBytes int64
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (c *Client) maxResponse() int64 {
+	if c.MaxResponseBytes > 0 {
+		return c.MaxResponseBytes
+	}
+	return DefaultMaxResponseBytes
 }
 
 // decodeError turns a non-200 response into the envelope's message.
@@ -40,19 +104,44 @@ func decodeError(resp *http.Response, body []byte) error {
 	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, body)
 }
 
-func (c *Client) post(path, contentType string, body []byte) ([]byte, *http.Response, error) {
-	resp, err := c.http().Post(c.BaseURL+path, contentType, bytes.NewReader(body))
+// readBody buffers a response body under the client's cap. The
+// server-announced Content-Length is only trusted as a lower bound for
+// preallocation after it has been checked against the cap — a daemon
+// that lies about its length cannot force an arbitrary allocation.
+func (c *Client) readBody(resp *http.Response) ([]byte, error) {
+	limit := c.maxResponse()
+	if resp.ContentLength > limit {
+		return nil, fmt.Errorf("server: response announces %d bytes, above the %d-byte cap", resp.ContentLength, limit)
+	}
+	if resp.ContentLength >= 0 {
+		data := make([]byte, resp.ContentLength)
+		if _, err := io.ReadFull(resp.Body, data); err != nil {
+			return nil, fmt.Errorf("server: reading %d-byte response: %w", resp.ContentLength, err)
+		}
+		return data, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("server: response exceeds the %d-byte cap", limit)
+	}
+	return data, nil
+}
+
+func (c *Client) post(ctx context.Context, path, contentType string, body []byte) ([]byte, *http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
-	var data []byte
-	if resp.ContentLength >= 0 {
-		data = make([]byte, resp.ContentLength)
-		_, err = io.ReadFull(resp.Body, data)
-	} else {
-		data, err = io.ReadAll(resp.Body)
-	}
+	data, err := c.readBody(resp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -62,10 +151,30 @@ func (c *Client) post(path, contentType string, body []byte) ([]byte, *http.Resp
 	return data, resp, nil
 }
 
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := c.readBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, data)
+	}
+	return data, nil
+}
+
 // Estimate serves a point-estimate batch over the binary codec (or JSON
 // when asJSON is set) and returns the answers with the fingerprint of
 // the table generation that produced all of them.
-func (c *Client) Estimate(qs []oracle.Query, asJSON bool) ([]oracle.Answer, string, error) {
+func (c *Client) Estimate(ctx context.Context, qs []oracle.Query, asJSON bool) ([]oracle.Answer, string, error) {
 	if asJSON {
 		req := BatchRequest{Shard: c.Shard, Queries: make([]WireQuery, len(qs))}
 		for i, q := range qs {
@@ -75,7 +184,7 @@ func (c *Client) Estimate(qs []oracle.Query, asJSON bool) ([]oracle.Answer, stri
 		if err != nil {
 			return nil, "", err
 		}
-		data, _, err := c.post("/v1/estimate", "application/json", body)
+		data, _, err := c.post(ctx, "/v1/estimate", "application/json", body)
 		if err != nil {
 			return nil, "", err
 		}
@@ -94,7 +203,7 @@ func (c *Client) Estimate(qs []oracle.Query, asJSON bool) ([]oracle.Answer, stri
 		}
 		return answers, resp.Fingerprint, nil
 	}
-	data, resp, err := c.post("/v1/estimate?shard="+url.QueryEscape(c.Shard), ContentTypeBinary, EncodeQueries(qs))
+	data, resp, err := c.post(ctx, "/v1/estimate?shard="+url.QueryEscape(c.Shard), ContentTypeBinary, EncodeQueries(qs))
 	if err != nil {
 		return nil, "", err
 	}
@@ -106,7 +215,7 @@ func (c *Client) Estimate(qs []oracle.Query, asJSON bool) ([]oracle.Answer, stri
 }
 
 // NextHop serves a next-hop batch over the binary codec (or JSON).
-func (c *Client) NextHop(qs []oracle.Query, asJSON bool) ([]Hop, string, error) {
+func (c *Client) NextHop(ctx context.Context, qs []oracle.Query, asJSON bool) ([]Hop, string, error) {
 	if asJSON {
 		req := BatchRequest{Shard: c.Shard, Queries: make([]WireQuery, len(qs))}
 		for i, q := range qs {
@@ -116,7 +225,7 @@ func (c *Client) NextHop(qs []oracle.Query, asJSON bool) ([]Hop, string, error) 
 		if err != nil {
 			return nil, "", err
 		}
-		data, _, err := c.post("/v1/nexthop", "application/json", body)
+		data, _, err := c.post(ctx, "/v1/nexthop", "application/json", body)
 		if err != nil {
 			return nil, "", err
 		}
@@ -126,7 +235,7 @@ func (c *Client) NextHop(qs []oracle.Query, asJSON bool) ([]Hop, string, error) 
 		}
 		return resp.Hops, resp.Fingerprint, nil
 	}
-	data, resp, err := c.post("/v1/nexthop?shard="+url.QueryEscape(c.Shard), ContentTypeBinary, EncodeQueries(qs))
+	data, resp, err := c.post(ctx, "/v1/nexthop?shard="+url.QueryEscape(c.Shard), ContentTypeBinary, EncodeQueries(qs))
 	if err != nil {
 		return nil, "", err
 	}
@@ -143,13 +252,13 @@ func (c *Client) NextHop(qs []oracle.Query, asJSON bool) ([]Hop, string, error) 
 // into the same finite-flag convention on decode, so the two paths are
 // interchangeable to callers. naive requests the unpruned reference
 // evaluation.
-func (c *Client) SetDist(a, b []int32, naive, asJSON bool) (*SetDistResponse, error) {
+func (c *Client) SetDist(ctx context.Context, a, b []int32, naive, asJSON bool) (*SetDistResponse, error) {
 	if asJSON {
 		body, err := json.Marshal(&SetDistRequest{Shard: c.Shard, A: a, B: b, Naive: naive})
 		if err != nil {
 			return nil, err
 		}
-		data, _, err := c.post("/v1/setdist", "application/json", body)
+		data, _, err := c.post(ctx, "/v1/setdist", "application/json", body)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +272,7 @@ func (c *Client) SetDist(a, b []int32, naive, asJSON bool) (*SetDistResponse, er
 	if naive {
 		path += "&naive=1"
 	}
-	data, resp, err := c.post(path, ContentTypeBinary, EncodeSetDistQuery(a, b))
+	data, resp, err := c.post(ctx, path, ContentTypeBinary, EncodeSetDistQuery(a, b))
 	if err != nil {
 		return nil, err
 	}
@@ -175,12 +284,12 @@ func (c *Client) SetDist(a, b []int32, naive, asJSON bool) (*SetDistResponse, er
 }
 
 // Route expands a batch of (from, to) pairs.
-func (c *Client) Route(pairs []WirePair) (*RouteResponse, error) {
+func (c *Client) Route(ctx context.Context, pairs []WirePair) (*RouteResponse, error) {
 	body, err := json.Marshal(&RouteRequest{Shard: c.Shard, Pairs: pairs})
 	if err != nil {
 		return nil, err
 	}
-	data, _, err := c.post("/v1/route", "application/json", body)
+	data, _, err := c.post(ctx, "/v1/route", "application/json", body)
 	if err != nil {
 		return nil, err
 	}
@@ -192,13 +301,13 @@ func (c *Client) Route(pairs []WirePair) (*RouteResponse, error) {
 }
 
 // Rebuild hot-swaps the client's shard with the given spec overrides.
-func (c *Client) Rebuild(req RebuildRequest) (*RebuildResponse, error) {
+func (c *Client) Rebuild(ctx context.Context, req RebuildRequest) (*RebuildResponse, error) {
 	req.Shard = c.Shard
 	body, err := json.Marshal(&req)
 	if err != nil {
 		return nil, err
 	}
-	data, _, err := c.post("/v1/rebuild", "application/json", body)
+	data, _, err := c.post(ctx, "/v1/rebuild", "application/json", body)
 	if err != nil {
 		return nil, err
 	}
@@ -210,13 +319,13 @@ func (c *Client) Rebuild(req RebuildRequest) (*RebuildResponse, error) {
 }
 
 // Update applies one churn batch to the client's shard via /v1/update.
-func (c *Client) Update(req UpdateRequest) (*UpdateResponse, error) {
+func (c *Client) Update(ctx context.Context, req UpdateRequest) (*UpdateResponse, error) {
 	req.Shard = c.Shard
 	body, err := json.Marshal(&req)
 	if err != nil {
 		return nil, err
 	}
-	data, _, err := c.post("/v1/update", "application/json", body)
+	data, _, err := c.post(ctx, "/v1/update", "application/json", body)
 	if err != nil {
 		return nil, err
 	}
@@ -228,18 +337,10 @@ func (c *Client) Update(req UpdateRequest) (*UpdateResponse, error) {
 }
 
 // Stats fetches the daemon's counters.
-func (c *Client) Stats() (*StatsResponse, error) {
-	resp, err := c.http().Get(c.BaseURL + "/v1/stats")
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	data, err := c.get(ctx, "/v1/stats")
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp, data)
 	}
 	var st StatsResponse
 	if err := json.Unmarshal(data, &st); err != nil {
@@ -249,18 +350,10 @@ func (c *Client) Stats() (*StatsResponse, error) {
 }
 
 // Health probes /healthz.
-func (c *Client) Health() (*HealthResponse, error) {
-	resp, err := c.http().Get(c.BaseURL + "/healthz")
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	data, err := c.get(ctx, "/healthz")
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp, data)
 	}
 	var h HealthResponse
 	if err := json.Unmarshal(data, &h); err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 // daemon — the same client pde-query -remote and the serve benchmark
 // use, so its wire handling is covered where the protocol lives.
 func TestClientAgainstLiveServer(t *testing.T) {
+	ctx := context.Background()
 	srv, ts := newTestServer(t, Config{})
 	sh := srv.slots["main"].load()
 	cl := &Client{BaseURL: ts.URL, Shard: "main", HTTP: ts.Client()}
@@ -21,7 +23,7 @@ func TestClientAgainstLiveServer(t *testing.T) {
 	sh.o.AnswerAll(qs, want)
 
 	for _, asJSON := range []bool{false, true} {
-		answers, fp, err := cl.Estimate(qs, asJSON)
+		answers, fp, err := cl.Estimate(ctx, qs, asJSON)
 		if err != nil {
 			t.Fatalf("Estimate(json=%v): %v", asJSON, err)
 		}
@@ -34,7 +36,7 @@ func TestClientAgainstLiveServer(t *testing.T) {
 			}
 		}
 
-		hops, fp, err := cl.NextHop(qs, asJSON)
+		hops, fp, err := cl.NextHop(ctx, qs, asJSON)
 		if err != nil {
 			t.Fatalf("NextHop(json=%v): %v", asJSON, err)
 		}
@@ -49,7 +51,7 @@ func TestClientAgainstLiveServer(t *testing.T) {
 		}
 	}
 
-	routes, err := cl.Route([]WirePair{{From: 2, To: 9}, {From: 4, To: 4}})
+	routes, err := cl.Route(ctx, []WirePair{{From: 2, To: 9}, {From: 4, To: 4}})
 	if err != nil {
 		t.Fatalf("Route: %v", err)
 	}
@@ -62,7 +64,7 @@ func TestClientAgainstLiveServer(t *testing.T) {
 		}
 	}
 
-	st, err := cl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -70,20 +72,20 @@ func TestClientAgainstLiveServer(t *testing.T) {
 		t.Fatalf("stats counted %d estimate queries, want %d", st.Shards["main"].Queries.Estimate, 2*len(qs))
 	}
 
-	h, err := cl.Health()
+	h, err := cl.Health(ctx)
 	if err != nil || h.Status != "ok" {
 		t.Fatalf("Health: %+v, %v", h, err)
 	}
 
 	seed := int64(77)
-	rb, err := cl.Rebuild(RebuildRequest{Seed: &seed})
+	rb, err := cl.Rebuild(ctx, RebuildRequest{Seed: &seed})
 	if err != nil {
 		t.Fatalf("Rebuild: %v", err)
 	}
 	if !rb.Changed || rb.OldFingerprint != sh.fp {
 		t.Fatalf("Rebuild response: %+v", rb)
 	}
-	if _, fp, err := cl.Estimate(qs, false); err != nil || fp != rb.NewFingerprint {
+	if _, fp, err := cl.Estimate(ctx, qs, false); err != nil || fp != rb.NewFingerprint {
 		t.Fatalf("post-rebuild Estimate fp = %s (err %v), want %s", fp, err, rb.NewFingerprint)
 	}
 }
@@ -91,27 +93,28 @@ func TestClientAgainstLiveServer(t *testing.T) {
 // TestClientErrorSurfacing checks that the client turns error envelopes
 // into errors carrying the server's code and message.
 func TestClientErrorSurfacing(t *testing.T) {
+	ctx := context.Background()
 	_, ts := newTestServer(t, Config{})
 
 	ghost := &Client{BaseURL: ts.URL, Shard: "ghost", HTTP: ts.Client()}
-	if _, _, err := ghost.Estimate([]oracle.Query{{V: 0, S: 1}}, false); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
+	if _, _, err := ghost.Estimate(ctx, []oracle.Query{{V: 0, S: 1}}, false); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
 		t.Fatalf("binary estimate against ghost shard: %v", err)
 	}
-	if _, _, err := ghost.Estimate([]oracle.Query{{V: 0, S: 1}}, true); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
+	if _, _, err := ghost.Estimate(ctx, []oracle.Query{{V: 0, S: 1}}, true); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
 		t.Fatalf("json estimate against ghost shard: %v", err)
 	}
-	if _, _, err := ghost.NextHop([]oracle.Query{{V: 0, S: 1}}, false); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
+	if _, _, err := ghost.NextHop(ctx, []oracle.Query{{V: 0, S: 1}}, false); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
 		t.Fatalf("nexthop against ghost shard: %v", err)
 	}
-	if _, err := ghost.Route([]WirePair{{From: 0, To: 1}}); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
+	if _, err := ghost.Route(ctx, []WirePair{{From: 0, To: 1}}); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
 		t.Fatalf("route against ghost shard: %v", err)
 	}
-	if _, err := ghost.Rebuild(RebuildRequest{}); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
+	if _, err := ghost.Rebuild(ctx, RebuildRequest{}); err == nil || !strings.Contains(err.Error(), "unknown_shard") {
 		t.Fatalf("rebuild against ghost shard: %v", err)
 	}
 
 	main := &Client{BaseURL: ts.URL, Shard: "main", HTTP: ts.Client()}
-	if _, _, err := main.Estimate([]oracle.Query{{V: -1, S: 0}}, false); err == nil || !strings.Contains(err.Error(), "out_of_range") {
+	if _, _, err := main.Estimate(ctx, []oracle.Query{{V: -1, S: 0}}, false); err == nil || !strings.Contains(err.Error(), "out_of_range") {
 		t.Fatalf("out-of-range estimate: %v", err)
 	}
 
@@ -119,10 +122,10 @@ func TestClientErrorSurfacing(t *testing.T) {
 	dead := httptest.NewServer(nil)
 	dead.Close()
 	gone := &Client{BaseURL: dead.URL, Shard: "main"}
-	if _, err := gone.Stats(); err == nil {
+	if _, err := gone.Stats(ctx); err == nil {
 		t.Fatal("Stats against a closed server did not error")
 	}
-	if _, err := gone.Health(); err == nil {
+	if _, err := gone.Health(ctx); err == nil {
 		t.Fatal("Health against a closed server did not error")
 	}
 }

@@ -7,6 +7,7 @@ package server
 // corresponding legacy in-process package built from the same Spec.
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
@@ -130,7 +131,7 @@ func TestServedSchemesMatchLegacyPaths(t *testing.T) {
 	for name, sp := range specs {
 		legacy := buildLegacyPath(t, sp)
 		cl := &Client{BaseURL: ts.URL, Shard: name, HTTP: ts.Client()}
-		st, err := cl.Stats()
+		st, err := cl.Stats(context.Background())
 		if err != nil {
 			t.Fatalf("%s: stats: %v", name, err)
 		}
@@ -146,7 +147,7 @@ func TestServedSchemesMatchLegacyPaths(t *testing.T) {
 			qs[i] = oracle.Query{V: int32(rng.Intn(n)), S: int32(rng.Intn(n))}
 		}
 		for _, asJSON := range []bool{false, true} {
-			answers, fp, err := cl.Estimate(qs, asJSON)
+			answers, fp, err := cl.Estimate(context.Background(), qs, asJSON)
 			if err != nil {
 				t.Fatalf("%s: estimate (json=%v): %v", name, asJSON, err)
 			}
@@ -163,7 +164,7 @@ func TestServedSchemesMatchLegacyPaths(t *testing.T) {
 						name, q.V, q.S, answers[i].Est.Dist, d, asJSON)
 				}
 			}
-			hops, _, err := cl.NextHop(qs, asJSON)
+			hops, _, err := cl.NextHop(context.Background(), qs, asJSON)
 			if err != nil {
 				t.Fatalf("%s: nexthop (json=%v): %v", name, asJSON, err)
 			}
@@ -191,7 +192,7 @@ func TestServedSchemesMatchLegacyPaths(t *testing.T) {
 			pairs = append(pairs, WirePair{From: int32(v), To: s})
 			want = append(want, rt)
 		}
-		resp, err := cl.Route(pairs)
+		resp, err := cl.Route(context.Background(), pairs)
 		if err != nil {
 			t.Fatalf("%s: route: %v", name, err)
 		}
@@ -226,7 +227,7 @@ func TestSchemeShardAccountingInStats(t *testing.T) {
 		srv.Close()
 	}()
 	cl := &Client{BaseURL: ts.URL, HTTP: ts.Client()}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,14 +268,14 @@ func TestRebuildAcrossSchemes(t *testing.T) {
 	k := 2
 	prob := 0.3
 	eps := 0.5
-	resp, err := cl.Rebuild(RebuildRequest{Shard: "main", Scheme: &toRTC, K: &k, SampleProb: &prob, Eps: &eps})
+	resp, err := cl.Rebuild(context.Background(), RebuildRequest{Shard: "main", Scheme: &toRTC, K: &k, SampleProb: &prob, Eps: &eps})
 	if err != nil {
 		t.Fatalf("rebuild to rtc: %v", err)
 	}
 	if !resp.Changed || resp.Spec.Scheme != "rtc" || resp.Spec.K != 2 {
 		t.Fatalf("rebuild response %+v did not switch schemes", resp)
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestRebuildAcrossSchemes(t *testing.T) {
 		t.Fatalf("stats still report scheme %q", st.Shards["main"].Scheme)
 	}
 	// Served answers now come from the rtc tables.
-	answers, fp, err := cl.Estimate([]oracle.Query{{V: 0, S: 5}}, false)
+	answers, fp, err := cl.Estimate(context.Background(), []oracle.Query{{V: 0, S: 5}}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestRebuildAcrossSchemes(t *testing.T) {
 	}
 
 	toOracle := "oracle"
-	resp2, err := cl.Rebuild(RebuildRequest{Shard: "main", Scheme: &toOracle})
+	resp2, err := cl.Rebuild(context.Background(), RebuildRequest{Shard: "main", Scheme: &toOracle})
 	if err != nil {
 		t.Fatalf("rebuild back to oracle: %v", err)
 	}
@@ -303,7 +304,7 @@ func TestRebuildAcrossSchemes(t *testing.T) {
 	}
 	// An invalid scheme override is a 400, not a swap.
 	bogus := "quantum"
-	if _, err := cl.Rebuild(RebuildRequest{Shard: "main", Scheme: &bogus}); err == nil {
+	if _, err := cl.Rebuild(context.Background(), RebuildRequest{Shard: "main", Scheme: &bogus}); err == nil {
 		t.Fatal("rebuild to an unknown scheme should fail")
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"net/http"
 	"reflect"
@@ -52,11 +53,11 @@ func TestSetDistBinaryMatchesJSON(t *testing.T) {
 	a, b := testSets()
 	cl := &Client{BaseURL: ts.URL, Shard: "main"}
 
-	fromJSON, err := cl.SetDist(a, b, false, true)
+	fromJSON, err := cl.SetDist(context.Background(), a, b, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromBinary, err := cl.SetDist(a, b, false, false)
+	fromBinary, err := cl.SetDist(context.Background(), a, b, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestSetDistBinaryMatchesJSON(t *testing.T) {
 	}
 
 	// The naive reference returns the same aggregates with more work.
-	naive, err := cl.SetDist(a, b, true, false)
+	naive, err := cl.SetDist(context.Background(), a, b, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,10 +85,10 @@ func TestSetDistStatsCountPairs(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
 	a, b := testSets()
 	cl := &Client{BaseURL: ts.URL, Shard: "main"}
-	if _, err := cl.SetDist(a, b, false, true); err != nil {
+	if _, err := cl.SetDist(context.Background(), a, b, false, true); err != nil {
 		t.Fatal(err)
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,14 +23,17 @@ type WireChange struct {
 
 // UpdateRequest is the admin churn body: the shard to mutate plus the
 // edge changes to apply as one atomic batch. DamageThreshold overrides
-// the server's configured delta/rebuild cutoff for this request only.
-// Verify additionally rebuilds the scheme from scratch on the updated
-// graph and refuses to publish unless the patched tables are
+// the server's configured delta/rebuild cutoff for this request only:
+// nil (absent) keeps the server default, exactly 0 forces a full
+// rebuild, and negative values are rejected — 0 and "unset" are
+// different requests, which a plain float64 could not express. Verify
+// additionally rebuilds the scheme from scratch on the updated graph
+// and refuses to publish unless the patched tables are
 // fingerprint-identical — the correctness contract, paid for on demand.
 type UpdateRequest struct {
 	Shard           string       `json:"shard"`
 	Changes         []WireChange `json:"changes"`
-	DamageThreshold float64      `json:"damage_threshold,omitempty"`
+	DamageThreshold *float64     `json:"damage_threshold,omitempty"`
 	Verify          bool         `json:"verify,omitempty"`
 }
 
@@ -90,6 +93,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		changes[i] = graph.Change{Op: op, U: c.U, V: c.V, W: c.W}
 	}
+	thr, force := s.cfg.DamageThreshold, false
+	if req.DamageThreshold != nil {
+		switch t := *req.DamageThreshold; {
+		case t < 0:
+			writeError(w, http.StatusBadRequest, "bad_request", "damage_threshold must be >= 0, got %g (omit it for the server default, 0 to force a rebuild)", t)
+			return
+		case t == 0:
+			force = true
+		default:
+			thr = t
+		}
+	}
 
 	// Serialize with rebuilds: queries keep flowing against the current
 	// tables for the whole update and only the final pointer swap is
@@ -109,13 +124,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	thr := req.DamageThreshold
-	if thr <= 0 {
-		thr = s.cfg.DamageThreshold
-	}
 	ni, st, err := scheme.Update(cur.inst, g2, scheme.UpdateOptions{
 		DamageThreshold: thr,
 		TopologyChanged: sum.TopologyChanged,
+		ForceRebuild:    force,
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "update_failed", "updating shard %q: %v", req.Shard, err)

@@ -174,15 +174,72 @@ func TestUpdateTopologyChangeTakesRebuildPath(t *testing.T) {
 func TestUpdateDamageThresholdOverride(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
 	change := oddEdgeChange(t, srv.slots["main"].load().g)
+	thr := 1e-9
 	var ur UpdateResponse
 	resp := postJSON(t, ts.URL+"/v1/update", UpdateRequest{
-		Shard: "main", Changes: []WireChange{change}, DamageThreshold: 1e-9, Verify: true,
+		Shard: "main", Changes: []WireChange{change}, DamageThreshold: &thr, Verify: true,
 	}, &ur)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("update status %d: %+v", resp.StatusCode, ur)
 	}
 	if ur.Path != "rebuild" {
 		t.Fatalf("path = %q, want rebuild below the per-request threshold", ur.Path)
+	}
+}
+
+// TestUpdateDamageThresholdZeroForcesRebuild pins the pointer semantics
+// of damage_threshold: a reweight small enough for the delta path under
+// the server default must take the delta path when the field is absent,
+// and a full rebuild when the client sends exactly 0 — "always rebuild"
+// and "use the default" are different requests.
+func TestUpdateDamageThresholdZeroForcesRebuild(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	change := oddEdgeChange(t, srv.slots["main"].load().g)
+
+	var unset UpdateResponse
+	resp := postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Shard: "main", Changes: []WireChange{change}, Verify: true,
+	}, &unset)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unset threshold: status %d: %+v", resp.StatusCode, unset)
+	}
+	if unset.Path != "delta" {
+		t.Fatalf("unset threshold served by %q (damage %.3f), want delta — the scenario no longer distinguishes 0 from unset", unset.Path, unset.Damage)
+	}
+
+	change.W++ // a fresh live change on the mutated graph
+	zero := 0.0
+	var forced UpdateResponse
+	resp = postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Shard: "main", Changes: []WireChange{change}, DamageThreshold: &zero, Verify: true,
+	}, &forced)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("zero threshold: status %d: %+v", resp.StatusCode, forced)
+	}
+	if forced.Path != "rebuild" {
+		t.Fatalf("damage_threshold 0 served by %q, want a forced rebuild", forced.Path)
+	}
+	if got, _ := srv.Fingerprint("main"); got != forced.NewFingerprint {
+		t.Fatalf("serving %s but update reported %s", got, forced.NewFingerprint)
+	}
+}
+
+// TestUpdateDamageThresholdNegativeRejected: negative thresholds are a
+// client bug, not a request for the default.
+func TestUpdateDamageThresholdNegativeRejected(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	change := oddEdgeChange(t, srv.slots["main"].load().g)
+	before, _ := srv.Fingerprint("main")
+	neg := -0.25
+	var env ErrorEnvelope
+	resp := postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Shard: "main", Changes: []WireChange{change}, DamageThreshold: &neg,
+	}, &env)
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != "bad_request" {
+		t.Fatalf("negative threshold: status %d, envelope %+v, want 400 bad_request", resp.StatusCode, env)
+	}
+	if after, _ := srv.Fingerprint("main"); after != before {
+		t.Fatalf("rejected update still swapped the tables: %s -> %s", before, after)
 	}
 }
 
