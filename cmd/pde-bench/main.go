@@ -18,10 +18,13 @@
 // tables once, then drive the same query stream through the legacy scan
 // path and the compiled oracle, failing if any answer diverges.
 //
-// Serve scenarios (BENCH_serve_*.json, schema "pde-serve/v1", see
+// Serve scenarios (BENCH_serve_*.json, schema "pde-serve/v2", see
 // internal/bench/serve.go) push the same tables behind the pde-serve
 // daemon on a loopback listener and measure end-to-end throughput vs the
-// in-process baseline, failing if any answer diverges across the wire.
+// in-process baseline — over both the HTTP batch codec and the PDE2
+// raw-TCP framed protocol at pipeline depths 1/4/16/64, recording
+// steady-state allocations per frame — failing if any answer diverges
+// across either transport.
 //
 // Scheme scenarios (BENCH_scheme_*.json, schema "pde-scheme/v1", see
 // internal/bench/scheme.go) pin the stretch-vs-bytes-vs-qps tradeoff of
@@ -329,8 +332,9 @@ func main() {
 		if !writeAndCheck(s.Name, rep.Filename(), data) {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "ok   %-28s queries=%-8d inproc=%.2fMq/s serve=%.2fMq/s ratio=%.2f avg_batch=%.0f\n",
-			s.Name, rep.Queries, rep.InprocQPS/1e6, rep.ServeQPS/1e6, rep.Ratio, rep.ServerAvgBatch)
+		fmt.Fprintf(os.Stderr, "ok   %-28s queries=%-8d inproc=%.2fMq/s serve=%.2fMq/s ratio=%.2f wire=%.2fMq/s wratio=%.2f depth=%d allocs/op=%.1f\n",
+			s.Name, rep.Queries, rep.InprocQPS/1e6, rep.ServeQPS/1e6, rep.Ratio,
+			rep.WireQPS/1e6, rep.WireRatio, rep.WireDepth, rep.WireAllocsPerOp)
 	}
 	for _, s := range selectedC {
 		rep, err := bench.RunClusterScenario(s, queryCache)

@@ -9,9 +9,17 @@
 // Usage:
 //
 //	pde-cluster -daemons http://127.0.0.1:7481,http://127.0.0.1:7482
-//	            [-addr :7480] [-probe-interval 500ms] [-probe-timeout 2s]
+//	            [-addr :7480] [-wire-addr :7490] [-pprof-addr localhost:6061]
+//	            [-probe-interval 500ms] [-probe-timeout 2s]
 //	            [-attempt-timeout 15s] [-admin-timeout 10m]
 //	            [-retries 2] [-retry-backoff 25ms]
+//
+// With -wire-addr the coordinator additionally relays the PDE2 raw-TCP
+// framed protocol (internal/wire): clients bind a shard and their
+// Estimate / NextHop frames are store-and-forwarded to a healthy
+// replica's own wire endpoint with the same failover discipline as the
+// HTTP plane. Daemons must also run with -wire-addr to be eligible.
+// -pprof-addr exposes net/http/pprof on a separate listener.
 //
 // A shard is replicated by configuring it (same name, same spec) on
 // more than one daemon; the coordinator discovers the placement from
@@ -27,7 +35,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,7 +48,9 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":7480", "listen address")
+	addr := flag.String("addr", ":7480", "HTTP listen address")
+	wireAddr := flag.String("wire-addr", "", "PDE2 raw-TCP relay listen address (empty = wire relay disabled)")
+	pprofAddr := flag.String("pprof-addr", "", "net/http/pprof listen address, e.g. localhost:6061 (empty = disabled)")
 	daemons := flag.String("daemons", "", "comma-separated pde-serve base URLs (required)")
 	probeInterval := flag.Duration("probe-interval", 0, "health probe period per daemon (0 = default 500ms)")
 	probeTimeout := flag.Duration("probe-timeout", 0, "single probe timeout (0 = default 2s)")
@@ -72,6 +84,25 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pde-cluster: fronting %d daemon(s), listening on %s\n",
 		len(strings.Split(*daemons, ",")), *addr)
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "pde-cluster: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pde-cluster: pprof listener: %v\n", err)
+			}
+		}()
+	}
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pde-cluster: wire listen: %v\n", err)
+			os.Exit(1)
+		}
+		relay := coord.ServeWire(ln)
+		defer relay.Close()
+		fmt.Fprintf(os.Stderr, "pde-cluster: PDE2 wire relay on %s\n", relay.Addr())
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: coord}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

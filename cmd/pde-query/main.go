@@ -49,11 +49,19 @@
 // clients:
 //
 //	pde-query -remote http://127.0.0.1:7475 [-shard main] [-batch 4096]
-//	          [-codec binary|json] [-workload estimate|nexthop|route]
+//	          [-codec binary|json|wire] [-depth 16]
+//	          [-workload estimate|nexthop|route]
 //	          [-queries N] [-workers N] [-seed 1] [-json]
 //
 // The route workload is always JSON (routes are variable-length); with
 // partial-sweep shards unroutable pairs are counted, not fatal.
+//
+// -codec wire switches the estimate and nexthop workloads onto the PDE2
+// raw-TCP framed protocol: the daemon's wire endpoint is discovered from
+// /v1/stats (wire_addr, so the daemon must run with -wire-addr), each
+// worker holds one persistent connection, and -depth frames are kept in
+// flight per connection (pipelining). Same batches, same answers, no
+// HTTP framing on the hot path.
 //
 // Set-distance mode fires one aggregate /v1/setdist query instead of a
 // batch stream: two seeded member sets are sampled from the shard and
@@ -95,6 +103,8 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +115,7 @@ import (
 	"pde/internal/oracle"
 	"pde/internal/scheme"
 	"pde/internal/server"
+	"pde/internal/wire"
 )
 
 type summary struct {
@@ -137,8 +148,15 @@ type summary struct {
 	Shard     string `json:"shard,omitempty"`
 	Batch     int    `json:"batch,omitempty"`
 	Codec     string `json:"codec,omitempty"`
+	Depth     int    `json:"depth,omitempty"`
 	RemoteFP  string `json:"remote_fingerprint,omitempty"`
 	Delivered int    `json:"delivered,omitempty"`
+	// WireFPs is every distinct generation fingerprint stamped on the
+	// PDE2 answer frames of a -codec wire run, sorted. A steady-state
+	// run observes exactly one; a run concurrent with a /v1/rebuild may
+	// observe two (pre- and post-swap generations) — anything else is a
+	// coherence violation.
+	WireFPs []string `json:"wire_fingerprints,omitempty"`
 }
 
 func main() {
@@ -162,7 +180,8 @@ func main() {
 	clusterURL := flag.String("cluster", "", "base URL of a pde-cluster coordinator; like -remote but prints the cluster topology first and routes every request through the coordinator")
 	shard := flag.String("shard", "main", "remote mode: shard to target")
 	batch := flag.Int("batch", 4096, "remote mode: queries per request")
-	codec := flag.String("codec", "binary", "remote mode: binary | json batch bodies (route is always json)")
+	codec := flag.String("codec", "binary", "remote mode: binary | json batch bodies, or wire for the PDE2 raw-TCP protocol (route is always json)")
+	depth := flag.Int("depth", 16, "remote mode, -codec wire: pipelined frames in flight per connection")
 	setDist := flag.Bool("setdist", false, "remote mode: fire one aggregate set-distance query instead of a batch stream")
 	setA := flag.Int("set-a", 32, "-setdist: member count of set A (seeded sample of the shard's nodes)")
 	setB := flag.Int("set-b", 64, "-setdist: member count of set B (seeded sample of the shard's nodes)")
@@ -211,7 +230,7 @@ func main() {
 		runRemote(remoteOpts{
 			base: *remote, shard: *shard, workload: *workload, codec: *codec,
 			queries: *queries, batch: *batch, workers: *workers, seed: *seed,
-			asJSON: *asJSON,
+			depth: *depth, asJSON: *asJSON,
 		})
 		return
 	}
@@ -491,6 +510,7 @@ type remoteOpts struct {
 	batch    int
 	workers  int
 	seed     int64
+	depth    int
 	asJSON   bool
 }
 
@@ -502,11 +522,17 @@ func runRemote(opt remoteOpts) {
 		fmt.Fprintf(os.Stderr, "pde-query: "+format+"\n", args...)
 		os.Exit(1)
 	}
-	if opt.codec != "binary" && opt.codec != "json" {
-		fail("unknown codec %q (want binary or json)", opt.codec)
+	if opt.codec != "binary" && opt.codec != "json" && opt.codec != "wire" {
+		fail("unknown codec %q (want binary, json or wire)", opt.codec)
+	}
+	if opt.codec == "wire" && opt.workload == "route" {
+		fail("the route workload is not part of the PDE2 wire protocol; use -codec binary or json")
 	}
 	if opt.batch <= 0 {
 		fail("-batch must be positive")
+	}
+	if opt.codec == "wire" && opt.depth <= 0 {
+		fail("-depth must be positive")
 	}
 	workers := opt.workers
 	if workers <= 0 {
@@ -542,6 +568,15 @@ func runRemote(opt remoteOpts) {
 	}
 	if opt.workload == "route" {
 		sum.Codec = "json"
+	}
+
+	if opt.codec == "wire" {
+		if st.WireAddr == "" {
+			fail("daemon %s reports no wire endpoint in /v1/stats — start pde-serve with -wire-addr", opt.base)
+		}
+		sum.Depth = opt.depth
+		runRemoteWire(opt, server.ResolveWireAddr(opt.base, st.WireAddr), workers, qs, sum, fail)
+		return
 	}
 
 	// Split the stream into batch-sized requests and fan them across
@@ -625,6 +660,140 @@ func runRemote(opt remoteOpts) {
 		opt.workload, opt.base, opt.shard, n, sum.RemoteFP)
 	fmt.Printf("pde-query: served %d queries (%d delivered) in %d-query %s batches over %d client(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
 		opt.queries, sum.Delivered, opt.batch, sum.Codec, workers, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
+}
+
+// runRemoteWire drives the estimate or nexthop stream over the PDE2
+// raw-TCP protocol: each worker holds one persistent connection bound to
+// the shard and keeps opt.depth frames in flight (submitting a chunk of
+// depth batches, then draining with Wait). Answers are decoded to count
+// deliveries, so the measurement covers the same end-to-end work as the
+// HTTP codecs.
+func runRemoteWire(opt remoteOpts, wireAddr string, workers int, qs []oracle.Query, sum summary, fail func(string, ...any)) {
+	spans := server.SplitSpans(len(qs), opt.batch)
+	var (
+		delivered atomic.Int64
+		firstErr  atomic.Pointer[error]
+		wg        sync.WaitGroup
+		fpMu      sync.Mutex
+		fpSeen    = map[uint64]bool{}
+	)
+	setErr := func(err error) { firstErr.CompareAndSwap(nil, &err) }
+	seeFP := func(fp uint64) {
+		fpMu.Lock()
+		fpSeen[fp] = true
+		fpMu.Unlock()
+	}
+
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := wire.DialTimeout(wireAddr, 10*time.Second)
+			if err != nil {
+				setErr(fmt.Errorf("worker %d: dialing wire endpoint %s: %w", w, wireAddr, err))
+				return
+			}
+			defer c.Close()
+			if _, _, err := c.Bind(opt.shard); err != nil {
+				setErr(fmt.Errorf("worker %d: bind %q: %w", w, opt.shard, err))
+				return
+			}
+			p, err := c.NewPipeline(opt.depth)
+			if err != nil {
+				setErr(fmt.Errorf("worker %d: pipeline: %w", w, err))
+				return
+			}
+			defer p.Close()
+
+			outs := make([][]oracle.Answer, opt.depth)
+			hops := make([][]wire.Hop, opt.depth)
+			ress := make([]wire.Result, opt.depth)
+			for j := range outs {
+				outs[j] = make([]oracle.Answer, opt.batch)
+				hops[j] = make([]wire.Hop, opt.batch)
+			}
+			// Worker w owns spans w, w+workers, w+2*workers, ... processed
+			// in depth-sized chunks: submit the whole chunk (frames queue in
+			// flight), then Wait drains it.
+			mine := make([]server.Span, 0, (len(spans)+workers-1)/workers)
+			for i := w; i < len(spans); i += workers {
+				mine = append(mine, spans[i])
+			}
+			for lo := 0; lo < len(mine); lo += opt.depth {
+				k := len(mine) - lo
+				if k > opt.depth {
+					k = opt.depth
+				}
+				for j := 0; j < k; j++ {
+					part := qs[mine[lo+j].Lo:mine[lo+j].Hi]
+					var serr error
+					if opt.workload == "estimate" {
+						serr = p.Estimate(part, outs[j][:len(part)], &ress[j])
+					} else {
+						serr = p.NextHop(part, hops[j][:len(part)], &ress[j])
+					}
+					if serr != nil {
+						setErr(fmt.Errorf("worker %d: submit: %w", w, serr))
+						return
+					}
+				}
+				if err := p.Wait(); err != nil {
+					setErr(fmt.Errorf("worker %d: pipeline: %w", w, err))
+					return
+				}
+				for j := 0; j < k; j++ {
+					if ress[j].Err != nil {
+						setErr(fmt.Errorf("worker %d: frame: %w", w, ress[j].Err))
+						return
+					}
+					seeFP(ress[j].FP)
+					count := mine[lo+j].Hi - mine[lo+j].Lo
+					if opt.workload == "estimate" {
+						for _, a := range outs[j][:count] {
+							if a.OK {
+								delivered.Add(1)
+							}
+						}
+					} else {
+						for _, h := range hops[j][:count] {
+							if h.OK {
+								delivered.Add(1)
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if ep := firstErr.Load(); ep != nil {
+		fail("remote %s workload over wire: %v", opt.workload, *ep)
+	}
+
+	sum.Delivered = int(delivered.Load())
+	sum.WallNS = wall.Nanoseconds()
+	if wall > 0 {
+		sum.QPS = float64(opt.queries) / wall.Seconds()
+		sum.NSPerQuery = float64(sum.WallNS) / float64(opt.queries)
+	}
+	for fp := range fpSeen {
+		sum.WireFPs = append(sum.WireFPs, fmt.Sprintf("%016x", fp))
+	}
+	sort.Strings(sum.WireFPs)
+	if opt.asJSON {
+		data, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fail("marshal: %v", err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	fmt.Printf("pde-query: remote %s/%s shard=%q n=%d (fingerprint %s, PDE2 %s, generations seen %v)\n",
+		opt.workload, opt.base, opt.shard, sum.N, sum.RemoteFP, wireAddr, sum.WireFPs)
+	fmt.Printf("pde-query: served %d queries (%d delivered) in %d-query frames, depth %d, over %d connection(s) in %.1fms: %.0f queries/sec (%.0f ns/query)\n",
+		opt.queries, sum.Delivered, opt.batch, opt.depth, workers, float64(sum.WallNS)/1e6, sum.QPS, sum.NSPerQuery)
 }
 
 // setDistOpts parameterizes a -setdist run against a pde-serve daemon.

@@ -11,6 +11,8 @@
 // Usage:
 //
 //	pde-serve [-addr :7475]
+//	          [-wire-addr :7476] [-wire-accept-loops 2]
+//	          [-pprof-addr localhost:6060]
 //	          [-scheme oracle|rtc|compact]
 //	          [-topology random] [-n 256] [-eps 0.5] [-maxw 16]
 //	          [-h 0] [-sigma 0] [-seed 1] [-build-workers 0]
@@ -28,6 +30,13 @@
 // Theorem 4.5 rtc tables, the §4.3 compact hierarchy — serves the same
 // wire protocol; a daemon can hold one shard per scheme side by side.
 //
+// With -wire-addr the daemon additionally serves the PDE2 raw-TCP
+// framed protocol (internal/wire) on that address against the same
+// shards: persistent connections, pipelined frames, zero-allocation
+// steady state. Clients discover the endpoint from /v1/stats
+// (wire_addr). -pprof-addr exposes net/http/pprof on a separate
+// listener for live profiling (see docs/serving.md).
+//
 // Endpoints, wire formats, and hot-swap semantics are documented in
 // docs/serving.md and internal/server. The daemon exits gracefully on
 // SIGINT/SIGTERM, draining in-flight requests.
@@ -39,7 +48,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,10 +59,14 @@ import (
 	"pde/internal/graph"
 	"pde/internal/scheme"
 	"pde/internal/server"
+	"pde/internal/wire"
 )
 
 func main() {
-	addr := flag.String("addr", ":7475", "listen address")
+	addr := flag.String("addr", ":7475", "HTTP listen address")
+	wireAddr := flag.String("wire-addr", "", "PDE2 raw-TCP listen address (empty = wire protocol disabled)")
+	wireAcceptLoops := flag.Int("wire-accept-loops", 0, "PDE2 accept-loop goroutines sharing the listener (0 = default 2)")
+	pprofAddr := flag.String("pprof-addr", "", "net/http/pprof listen address, e.g. localhost:6060 (empty = disabled)")
 	schemeName := flag.String("scheme", "oracle", scheme.List())
 	topology := flag.String("topology", "random", graph.GeneratorList())
 	n := flag.Int("n", 256, "number of nodes")
@@ -119,6 +134,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pde-serve: shard %q ready (fingerprint %s)\n", name, fp)
 	}
 	fmt.Fprintf(os.Stderr, "pde-serve: built in %.1fs, listening on %s\n", time.Since(t0).Seconds(), *addr)
+
+	if *pprofAddr != "" {
+		// The main handler never sees these routes: pprof registers on
+		// http.DefaultServeMux and only this side listener serves it.
+		go func() {
+			fmt.Fprintf(os.Stderr, "pde-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pde-serve: pprof listener: %v\n", err)
+			}
+		}()
+	}
+
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pde-serve: wire listen: %v\n", err)
+			os.Exit(1)
+		}
+		ws := wire.Serve(ln, srv, wire.Config{
+			MaxBatch:    *maxBatch,
+			AcceptLoops: *wireAcceptLoops,
+		})
+		defer ws.Close()
+		srv.SetWireAddr(ws.Addr())
+		fmt.Fprintf(os.Stderr, "pde-serve: PDE2 wire protocol on %s\n", ws.Addr())
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

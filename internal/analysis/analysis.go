@@ -1,6 +1,6 @@
 // Package analysis is the repo's static-analysis suite: a small,
 // dependency-free reimplementation of the golang.org/x/tools/go/analysis
-// shape (Analyzer, Pass, diagnostics) plus the five pde-vet analyzers
+// shape (Analyzer, Pass, diagnostics) plus the six pde-vet analyzers
 // that mechanically enforce the coding invariants every differential
 // test in this repo otherwise only samples:
 //
@@ -14,11 +14,13 @@
 //     negative sentinel
 //   - errenvelope:    HTTP handlers emit errors only through the shared
 //     {"error":{code,message}} envelope helper
+//   - hotpathalloc:   //pde:hotpath-marked serving functions contain no
+//     allocating constructs (append, make, string<->[]byte conversions)
 //
 // The suite runs from cmd/pde-vet both standalone (pde-vet ./...) and as
 // a `go vet -vettool` backend. It is stdlib-only by design: the build
 // environment has no module proxy, so the x/tools analysis framework is
-// out of reach and this package carries the minimal slice of it the five
+// out of reach and this package carries the minimal slice of it the six
 // analyzers need.
 //
 // # Escape hatch

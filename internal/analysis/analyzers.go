@@ -6,6 +6,7 @@ func All() []*Analyzer {
 		AtomicSwap,
 		Determinism,
 		ErrEnvelope,
+		HotPathAlloc,
 		InfConvention,
 		WireFrame,
 	}

@@ -178,6 +178,35 @@ func TestWireFrameGolden(t *testing.T) {
 	runGolden(t, WireFrame, "wireframe", "pde/internal/server")
 }
 
+func TestHotPathAllocGolden(t *testing.T) {
+	suppressed := runGolden(t, HotPathAlloc, "hotpathalloc", "pde/internal/wire")
+	if len(suppressed) != 1 {
+		t.Errorf("want exactly 1 //pde:allow-suppressed finding in the fixture, got %d", len(suppressed))
+	}
+}
+
+func TestHotPathAllocScope(t *testing.T) {
+	// The same fixture analyzed under an out-of-scope import path must
+	// produce nothing: the marker contract is enforced only where the
+	// zero-alloc guards run (internal/wire, internal/oracle).
+	fset, typed := goldenUniverse(t)
+	var files []*ast.File
+	entries, _ := os.ReadDir(filepath.Join("testdata", "hotpathalloc"))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			af, err := parser.ParseFile(fset, filepath.Join("testdata", "hotpathalloc", e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, af)
+		}
+	}
+	tpkg, info, _ := TypeCheckFiles(fset, "pde/internal/server", files, mapImporter{typed: typed}, true)
+	if diags := RunAnalyzers([]*Analyzer{HotPathAlloc}, fset, "pde/internal/server", files, tpkg, info); len(diags) != 0 {
+		t.Errorf("hotpathalloc fired outside its scope: %v", diags)
+	}
+}
+
 func TestInfConventionGolden(t *testing.T) {
 	suppressed := runGolden(t, InfConvention, "infconvention", "pde/internal/setdist")
 	if len(suppressed) != 1 {

@@ -98,12 +98,13 @@ func TestServeScenarioSharesCache(t *testing.T) {
 	}
 }
 
-// TestServeScenariosRegistered pins the committed matrix: the n=512 cell
-// exists, is quick (runs in CI), and shares the APSP build.
+// TestServeScenariosRegistered pins the committed matrix: the n=512 and
+// n=256 cells exist, are quick (run in CI), and share their APSP builds
+// with the query/cluster scenarios respectively.
 func TestServeScenariosRegistered(t *testing.T) {
 	list := ServeScenarios()
-	if len(list) == 0 {
-		t.Fatal("no serve scenarios registered")
+	if len(list) != 2 {
+		t.Fatalf("serve matrix has %d scenarios, want 2", len(list))
 	}
 	s := list[0]
 	if s.Name != "serve_estimate-apsp-n512" || !s.Quick {
@@ -111,5 +112,12 @@ func TestServeScenariosRegistered(t *testing.T) {
 	}
 	if s.PrepareKey != "apsp-random-n512-eps1" {
 		t.Fatalf("n512 serve cell must share the APSP build, PrepareKey=%q", s.PrepareKey)
+	}
+	s = list[1]
+	if s.Name != "serve_estimate-apsp-n256" || !s.Quick {
+		t.Fatalf("second serve scenario = %q quick=%v", s.Name, s.Quick)
+	}
+	if s.PrepareKey != "apsp-random-n256-eps1" {
+		t.Fatalf("n256 serve cell must share the cluster scenario's build, PrepareKey=%q", s.PrepareKey)
 	}
 }

@@ -160,6 +160,11 @@ type Coordinator struct {
 	proxied    atomic.Int64 // query requests answered through a replica
 	failovers  atomic.Int64 // attempts that failed and moved to another replica
 	retryWaits atomic.Int64 // backoff sleeps between full replica-set passes
+
+	// wireAddr is the PDE2 relay's listen address once ServeWire is
+	// active; the coordinator-shaped /v1/stats reports it so wire-codec
+	// clients discover the relay like they would a daemon's endpoint.
+	wireAddr atomic.Pointer[string]
 }
 
 // New probes every configured daemon, derives the shard placement,

@@ -144,6 +144,9 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Shards:     make(map[string]server.ShardStatus),
 	}
+	if wa := c.wireAddr.Load(); wa != nil {
+		resp.WireAddr = *wa
+	}
 	cached := make(map[string]*server.StatsResponse) // one fetch per daemon
 
 	c.mu.RLock()

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"pde/internal/oracle"
+	"pde/internal/server"
+	"pde/internal/wire"
+)
+
+// WireRelay fronts the fleet's PDE2 wire endpoints behind one raw-TCP
+// listener, the way the coordinator's HTTP handler fronts /v1/estimate:
+// a client binds a shard once, and every Estimate / NextHop frame is
+// store-and-forwarded to a healthy replica's wire endpoint with failover.
+// Each client connection owns one upstream connection, so pipelined
+// frames relay in order and every answer still carries the fingerprint
+// of the single daemon generation that produced it — the relay never
+// merges answers. Upstream endpoints are discovered from each daemon's
+// /v1/stats (wire_addr), so only daemons started with -wire-addr are
+// eligible; a shard whose replicas all lack a wire listener fails with
+// an upstream error frame rather than falling back to HTTP.
+type WireRelay struct {
+	c  *Coordinator
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeWire starts a PDE2 relay on ln and returns immediately. The
+// relay's address is reported as wire_addr in the coordinator-shaped
+// /v1/stats, so pde-query -cluster -codec wire discovers it the same
+// way it would a daemon's.
+func (c *Coordinator) ServeWire(ln net.Listener) *WireRelay {
+	r := &WireRelay{c: c, ln: ln, conns: make(map[net.Conn]struct{})}
+	addr := ln.Addr().String()
+	c.wireAddr.Store(&addr)
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r
+}
+
+// Addr is the relay listener's bound address.
+func (r *WireRelay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the listener, closes live client connections and waits
+// for their handlers (and upstream connections) to wind down.
+func (r *WireRelay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return nil
+	}
+	r.closed = true
+	for conn := range r.conns {
+		conn.Close()
+	}
+	r.mu.Unlock()
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *WireRelay) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.handleConn(conn)
+	}
+}
+
+var errNoWireReplica = errors.New("no healthy replica with a wire endpoint")
+
+// dialShard finds a replica of shard with a live wire endpoint, healthy
+// daemons first, and returns a bound upstream connection. Transport
+// failures mark the daemon down, exactly like the HTTP forwarding path.
+func (r *WireRelay) dialShard(shard string) (*wire.Conn, error) {
+	reps := r.c.replicasFor(shard)
+	ordered := make([]*backend, 0, len(reps))
+	for _, b := range reps {
+		if b.healthy.Load() {
+			ordered = append(ordered, b)
+		}
+	}
+	for _, b := range reps {
+		if !b.healthy.Load() {
+			ordered = append(ordered, b)
+		}
+	}
+	lastErr := errNoWireReplica
+	for _, b := range ordered {
+		ctx, cancel := context.WithTimeout(context.Background(), r.c.cfg.ProbeTimeout)
+		st, err := b.client.Stats(ctx)
+		cancel()
+		if err != nil {
+			b.markDown(err)
+			lastErr = fmt.Errorf("%s: %w", b.url, err)
+			continue
+		}
+		if st.WireAddr == "" {
+			lastErr = fmt.Errorf("%s serves no wire endpoint (-wire-addr)", b.url)
+			continue
+		}
+		uc, err := wire.DialTimeout(server.ResolveWireAddr(b.url, st.WireAddr), r.c.cfg.ProbeTimeout)
+		if err != nil {
+			b.markDown(err)
+			lastErr = fmt.Errorf("%s: dialing wire endpoint: %w", b.url, err)
+			continue
+		}
+		if _, _, err := uc.Bind(shard); err != nil {
+			uc.Close()
+			lastErr = fmt.Errorf("%s: bind %q: %w", b.url, shard, err)
+			continue
+		}
+		return uc, nil
+	}
+	return nil, lastErr
+}
+
+// relayState is one client connection's scratch: the bound shard, its
+// current upstream, and reused frame buffers.
+type relayState struct {
+	shard   string
+	up      *wire.Conn
+	payload []byte
+	qs      []oracle.Query
+	out     []oracle.Answer
+	hops    []wire.Hop
+	wbuf    []byte
+}
+
+func (st *relayState) dropUpstream() {
+	if st.up != nil {
+		st.up.Close()
+		st.up = nil
+	}
+}
+
+// handleConn runs one client connection's relay loop: the same framing
+// discipline as the daemon-side handler (flush only when no complete
+// frame is buffered), with each query frame answered through the bound
+// shard's upstream.
+func (r *WireRelay) handleConn(conn net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+	}()
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	defer bw.Flush()
+
+	st := &relayState{}
+	defer st.dropUpstream()
+	var hdr [wire.HeaderSize]byte
+	maxPayload := wire.QueryPayloadLen(wire.DefaultMaxBatch)
+	if maxPayload < wire.MaxShardName {
+		maxPayload = wire.MaxShardName
+	}
+	for {
+		if br.Buffered() < wire.HeaderSize {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		t, corr, plen, err := wire.ParseHeader(hdr[:])
+		if err != nil {
+			relayError(bw, corr, wire.ErrCodeBadFrame, err.Error())
+			return
+		}
+		if int(plen) > maxPayload {
+			relayError(bw, corr, wire.ErrCodeBadFrame, "payload length exceeds the frame limit")
+			return
+		}
+		if cap(st.payload) < int(plen) {
+			st.payload = make([]byte, plen)
+		}
+		payload := st.payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		switch t {
+		case wire.FrameBind:
+			if !r.relayBind(bw, st, corr, payload) {
+				return
+			}
+		case wire.FrameEstimate, wire.FrameNextHop:
+			if !r.relayQueries(bw, st, t, corr, payload) {
+				return
+			}
+		case wire.FramePing:
+			wire.PutHeader(hdr[:], wire.FramePong, corr, 0)
+			if _, err := bw.Write(hdr[:]); err != nil {
+				return
+			}
+		default:
+			relayError(bw, corr, wire.ErrCodeBadFrame, "unknown frame type")
+			return
+		}
+	}
+}
+
+// relayBind resolves the shard and establishes the upstream, answering
+// the client with the upstream's Bound frame (node count and serving
+// fingerprint). It reports whether the connection stays open.
+func (r *WireRelay) relayBind(bw *bufio.Writer, st *relayState, corr uint64, payload []byte) bool {
+	if len(payload) == 0 || len(payload) > wire.MaxShardName {
+		return relayError(bw, corr, wire.ErrCodeBadFrame, "shard name must be 1..256 bytes")
+	}
+	name := string(payload)
+	if len(r.c.replicasFor(name)) == 0 {
+		return relayError(bw, corr, wire.ErrCodeUnknownShard, "no daemon serves shard "+name)
+	}
+	st.dropUpstream()
+	up, err := r.dialShard(name)
+	if err != nil {
+		return relayError(bw, corr, wire.ErrCodeUpstream, "shard "+name+": "+err.Error())
+	}
+	st.shard = name
+	st.up = up
+	var buf [wire.HeaderSize + wire.BoundPayloadLen]byte
+	wire.PutHeader(buf[:], wire.FrameBound, corr, wire.BoundPayloadLen)
+	wire.PutBoundPayload(buf[wire.HeaderSize:], up.N(), up.FingerprintRaw())
+	if _, werr := bw.Write(buf[:]); werr != nil {
+		return false
+	}
+	return true
+}
+
+// relayQueries forwards one Estimate or NextHop frame: decode the
+// queries, answer through the upstream (re-establishing it across
+// replicas on transport failure, with the coordinator's retry budget),
+// and re-encode the answers under the client's correlation id. Protocol
+// errors from the daemon (out_of_range above all) relay verbatim.
+func (r *WireRelay) relayQueries(bw *bufio.Writer, st *relayState, t wire.FrameType, corr uint64, payload []byte) bool {
+	if st.shard == "" {
+		return relayError(bw, corr, wire.ErrCodeNotBound, "no shard bound; send a Bind frame first")
+	}
+	count, err := wire.CheckQueryPayload(payload)
+	if err != nil {
+		relayError(bw, corr, wire.ErrCodeBadFrame, err.Error())
+		return false
+	}
+	if count == 0 {
+		return relayError(bw, corr, wire.ErrCodeBadFrame, "frame carries no queries")
+	}
+	if cap(st.qs) < count {
+		st.qs = make([]oracle.Query, count)
+		st.out = make([]oracle.Answer, count)
+		st.hops = make([]wire.Hop, count)
+	}
+	qs := st.qs[:count]
+	for i := 0; i < count; i++ {
+		qs[i] = wire.QueryAt(payload, i)
+	}
+
+	var lastErr error
+	attempts := r.c.cfg.Retries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if st.up == nil {
+			up, derr := r.dialShard(st.shard)
+			if derr != nil {
+				lastErr = derr
+				break // dialShard already swept the replica set
+			}
+			st.up = up
+		}
+		var fp uint64
+		var qerr error
+		if t == wire.FrameEstimate {
+			fp, qerr = st.up.Estimate(qs, st.out[:count])
+		} else {
+			fp, qerr = st.up.NextHop(qs, st.hops[:count])
+		}
+		if qerr == nil {
+			r.c.proxied.Add(1)
+			return r.writeAnswers(bw, st, t, corr, count, fp)
+		}
+		var re *wire.RemoteError
+		if errors.As(qerr, &re) {
+			// The daemon answered: this is a protocol-level refusal
+			// (out_of_range, too_large), identical on every replica —
+			// relay it rather than failing over.
+			if re.Fatal() {
+				st.dropUpstream()
+			}
+			return relayError(bw, corr, re.Code, re.Message)
+		}
+		st.dropUpstream()
+		r.c.failovers.Add(1)
+		lastErr = qerr
+	}
+	return relayError(bw, corr, wire.ErrCodeUpstream,
+		fmt.Sprintf("shard %s: every replica failed: %v", st.shard, lastErr))
+}
+
+// writeAnswers re-frames the upstream's answers for the client. The
+// answer slices were just filled by the upstream decode, so the records
+// re-encode bit-identically — the relay changes the correlation id and
+// nothing else.
+func (r *WireRelay) writeAnswers(bw *bufio.Writer, st *relayState, t wire.FrameType, corr uint64, count int, fp uint64) bool {
+	var need int
+	if t == wire.FrameEstimate {
+		need = wire.HeaderSize + wire.AnswersPayloadLen(count)
+	} else {
+		need = wire.HeaderSize + wire.HopsPayloadLen(count)
+	}
+	if cap(st.wbuf) < need {
+		st.wbuf = make([]byte, need)
+	}
+	frame := st.wbuf[:need]
+	if t == wire.FrameEstimate {
+		wire.PutHeader(frame, wire.FrameAnswers, corr, wire.AnswersPayloadLen(count))
+		body := frame[wire.HeaderSize:]
+		wire.PutAnswersPrefix(body, fp, count)
+		for i := 0; i < count; i++ {
+			wire.PutAnswerAt(body, i, st.out[i])
+		}
+	} else {
+		wire.PutHeader(frame, wire.FrameHops, corr, wire.HopsPayloadLen(count))
+		body := frame[wire.HeaderSize:]
+		wire.PutHopsPrefix(body, fp, count)
+		for i := 0; i < count; i++ {
+			wire.PutHopAt(body, i, st.hops[i])
+		}
+	}
+	_, err := bw.Write(frame)
+	return err == nil
+}
+
+// relayError mirrors the daemon-side error discipline: emit an Error
+// frame and keep the connection open unless the code is fatal.
+func relayError(bw *bufio.Writer, corr uint64, code uint16, msg string) bool {
+	payload := wire.ErrorPayload(code, msg)
+	var hdr [wire.HeaderSize]byte
+	wire.PutHeader(hdr[:], wire.FrameError, corr, len(payload))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return false
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return false
+	}
+	return code != wire.ErrCodeBadFrame && code != wire.ErrCodeShuttingDown
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"pde/internal/oracle"
+	"pde/internal/server"
+	"pde/internal/wire"
+)
+
+// wireDaemon pairs a test daemon with its PDE2 listener so tests can
+// sever the wire plane independently of the HTTP plane.
+type wireDaemon struct {
+	*testDaemon
+	ws *wire.Server
+}
+
+// bootWireDaemons boots daemons that serve both planes, the way
+// pde-serve -wire-addr does: a PDE2 listener per daemon, registered in
+// /v1/stats for discovery.
+func bootWireDaemons(t *testing.T, shardSets []map[string]server.Spec) []*wireDaemon {
+	t.Helper()
+	daemons := bootDaemons(t, shardSets)
+	out := make([]*wireDaemon, len(daemons))
+	for i, d := range daemons {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("daemon %d: wire listen: %v", i, err)
+		}
+		ws := wire.Serve(ln, d.srv, wire.Config{})
+		d.srv.SetWireAddr(ws.Addr())
+		t.Cleanup(func() { ws.Close() })
+		out[i] = &wireDaemon{testDaemon: d, ws: ws}
+	}
+	return out
+}
+
+// TestClusterWireRelayEndToEnd drives the PDE2 relay: bound queries
+// against a replicated shard answer bit-identically to a direct daemon
+// connection, pipelined frames relay in order, protocol errors pass
+// through, and killing the upstream's wire plane mid-stream fails the
+// stream over to the surviving replica without a wrong or torn answer.
+func TestClusterWireRelayEndToEnd(t *testing.T) {
+	specs := map[string]server.Spec{"hot": hotSpec}
+	daemons := bootWireDaemons(t, []map[string]server.Spec{specs, specs})
+	coord, _ := newCoordinator(t, []*testDaemon{daemons[0].testDaemon, daemons[1].testDaemon})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := coord.ServeWire(ln)
+	defer relay.Close()
+
+	// Reference answers from a direct daemon connection: the replicas
+	// were built from the same spec, so both serve these exact bytes.
+	direct, err := wire.Dial(daemons[0].ws.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	n, wantFP, err := direct.Bind("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]oracle.Query, 48)
+	for i := range qs {
+		qs[i] = oracle.Query{V: int32((i * 5) % int(n)), S: int32((i * 7) % int(n))}
+	}
+	want := make([]oracle.Answer, len(qs))
+	if _, err := direct.Estimate(qs, want); err != nil {
+		t.Fatal(err)
+	}
+	wantHops := make([]wire.Hop, len(qs))
+	if _, err := direct.NextHop(qs, wantHops); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := wire.Dial(relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Bind("ghost"); err == nil {
+		t.Fatal("binding an unplaced shard through the relay did not error")
+	} else {
+		var re *wire.RemoteError
+		if !errors.As(err, &re) || re.Code != wire.ErrCodeUnknownShard {
+			t.Fatalf("ghost bind error = %v, want unknown_shard", err)
+		}
+	}
+	gotN, gotFP, err := c.Bind("hot")
+	if err != nil {
+		t.Fatalf("bind through relay: %v", err)
+	}
+	if gotN != n || gotFP != wantFP {
+		t.Fatalf("relay bound n=%d fp=%016x, direct daemon has n=%d fp=%016x", gotN, gotFP, n, wantFP)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		out := make([]oracle.Answer, len(qs))
+		fp, err := c.Estimate(qs, out)
+		if err != nil {
+			t.Fatalf("%s: estimate through relay: %v", stage, err)
+		}
+		if fp != wantFP {
+			t.Fatalf("%s: relay stamped fp %016x, want %016x", stage, fp, wantFP)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("%s: answer %d differs through the relay: got %+v want %+v", stage, i, out[i], want[i])
+			}
+		}
+		hops := make([]wire.Hop, len(qs))
+		if _, err := c.NextHop(qs, hops); err != nil {
+			t.Fatalf("%s: nexthop through relay: %v", stage, err)
+		}
+		for i := range wantHops {
+			if hops[i] != wantHops[i] {
+				t.Fatalf("%s: hop %d differs through the relay: got %+v want %+v", stage, i, hops[i], wantHops[i])
+			}
+		}
+	}
+	check("both replicas up")
+
+	// Out-of-range refusals relay verbatim and leave the stream usable.
+	if _, err := c.Estimate([]oracle.Query{{V: 9999, S: 0}}, make([]oracle.Answer, 1)); err == nil {
+		t.Fatal("out-of-range query through the relay did not error")
+	} else {
+		var re *wire.RemoteError
+		if !errors.As(err, &re) || re.Code != wire.ErrCodeOutOfRange {
+			t.Fatalf("out-of-range error = %v, want out_of_range", err)
+		}
+	}
+	check("after relayed refusal")
+
+	// Sever the primary's wire plane mid-stream: the relay's upstream
+	// dies, the next frame fails over to the survivor, and the answers
+	// (same spec, same fingerprint) stay bit-identical.
+	primary := coord.Placement("hot")[0]
+	for _, d := range daemons {
+		if d.url() == primary {
+			d.ws.Close()
+		}
+	}
+	check("after killing the primary's wire plane")
+
+	// Pipelined frames relay in order across one connection.
+	p, err := c.NewPipeline(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const frames = 8
+	outs := make([][]oracle.Answer, frames)
+	ress := make([]wire.Result, frames)
+	for f := 0; f < frames; f++ {
+		outs[f] = make([]oracle.Answer, len(qs))
+		if err := p.Estimate(qs, outs[f], &ress[f]); err != nil {
+			t.Fatalf("pipelined submit %d: %v", f, err)
+		}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < frames; f++ {
+		if ress[f].Err != nil {
+			t.Fatalf("pipelined frame %d: %v", f, ress[f].Err)
+		}
+		if ress[f].FP != wantFP {
+			t.Fatalf("pipelined frame %d stamped %016x, want %016x", f, ress[f].FP, wantFP)
+		}
+		for i := range want {
+			if outs[f][i] != want[i] {
+				t.Fatalf("pipelined frame %d answer %d differs", f, i)
+			}
+		}
+	}
+}

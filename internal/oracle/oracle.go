@@ -140,6 +140,8 @@ func (o *Oracle) Bytes() int64 {
 // node count, and the contract there is "consistent with the snapshot
 // that answered" — for a node the snapshot doesn't have, that answer is
 // "not found".
+//
+//pde:hotpath
 func (o *Oracle) find(v int, s int32) int64 {
 	if v < 0 || v >= o.n {
 		return -1
@@ -160,6 +162,8 @@ func (o *Oracle) find(v int, s int32) int64 {
 }
 
 // at materializes entry k as a core.Estimate.
+//
+//pde:hotpath
 func (o *Oracle) at(k int64) core.Estimate {
 	return core.Estimate{
 		Dist:     o.dists[k],
@@ -172,6 +176,8 @@ func (o *Oracle) at(k int64) core.Estimate {
 
 // Estimate returns the combined estimate w̃d(v, s) with best instance and
 // next hop — the indexed equivalent of core.Result.Estimate.
+//
+//pde:hotpath
 func (o *Oracle) Estimate(v int, s int32) (core.Estimate, bool) {
 	k := o.find(v, s)
 	if k < 0 {

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -210,6 +211,80 @@ func TestAnswerBatchAndParallel(t *testing.T) {
 			t.Fatalf("AnswerAll[%d] != Estimate(%d,%d)", i, q.V, q.S)
 		}
 	}
+}
+
+// TestAnswerSortedMatchesAnswerAll is the bit-identity property test for
+// the galloping sorted path: on sparse (sweep) and dense (APSP) tables,
+// sorted streams — including duplicate pairs, missing pairs, and rows
+// the table has no entries for — must answer exactly as AnswerAll, and
+// input that regresses out of sorted order must still answer correctly
+// (it only forfeits the gallop).
+func TestAnswerSortedMatchesAnswerAll(t *testing.T) {
+	for name, build := range map[string]func() (*graph.Graph, core.Params){
+		"random-apsp": func() (*graph.Graph, core.Params) {
+			g := graph.RandomConnected(40, 6.0/40, 8, rand.New(rand.NewSource(31)))
+			return g, core.APSPParams(g.N(), 1)
+		},
+		"grid-sweep": func() (*graph.Graph, core.Params) {
+			g := graph.Grid(6, 6, 12, rand.New(rand.NewSource(32)))
+			return g, sweepParams(g.N(), 12, 6, 0.25)
+		},
+	} {
+		g, params := build()
+		res := buildResult(t, g, params)
+		o := Compile(res)
+		n := int32(g.N())
+
+		r := rand.New(rand.NewSource(33))
+		streams := map[string][]Query{}
+		sorted := make([]Query, 4096)
+		for i := range sorted {
+			sorted[i] = Query{V: r.Int31n(n), S: r.Int31n(n)}
+		}
+		sorted = append(sorted, sorted[:64]...) // duplicates
+		slicesSortQueries(sorted)
+		streams["sorted"] = sorted
+		unsorted := make([]Query, 2048)
+		for i := range unsorted {
+			unsorted[i] = Query{V: r.Int31n(n), S: r.Int31n(n)}
+		}
+		streams["unsorted"] = unsorted // exercises the regression reset
+		streams["one-row"] = []Query{{V: 3, S: 0}, {V: 3, S: 0}, {V: 3, S: 5}, {V: 3, S: n - 1}}
+		streams["out-of-range"] = []Query{{V: 5, S: -1}, {V: 5, S: n}, {V: -1, S: 0}, {V: n, S: 0}, {V: 5, S: 2}}
+
+		for sname, qs := range streams {
+			want := make([]Answer, len(qs))
+			o.AnswerAll(qs, want)
+			got := make([]Answer, len(qs))
+			o.AnswerSorted(qs, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: AnswerSorted[%d] = %+v, AnswerAll = %+v (query %+v)",
+						name, sname, i, got[i], want[i], qs[i])
+				}
+			}
+		}
+
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: AnswerSorted with short out did not panic", name)
+				}
+			}()
+			o.AnswerSorted(sorted, make([]Answer, len(sorted)-1))
+		}()
+	}
+}
+
+// slicesSortQueries orders qs ascending by (V, S) — the wire layer's
+// table order.
+func slicesSortQueries(qs []Query) {
+	sort.Slice(qs, func(i, j int) bool {
+		if qs[i].V != qs[j].V {
+			return qs[i].V < qs[j].V
+		}
+		return qs[i].S < qs[j].S
+	})
 }
 
 // TestAnswerAllLengthContract pins the batch contract: out must have

@@ -34,6 +34,8 @@ type Answer struct {
 // out must have exactly len(qs) entries; anything else is a caller bug
 // (a torn batch would silently leave stale answers in the tail), so
 // AnswerAll panics instead of truncating.
+//
+//pde:hotpath
 func (o *Oracle) AnswerAll(qs []Query, out []Answer) {
 	if len(out) != len(qs) {
 		panic(fmt.Sprintf("oracle: AnswerAll called with %d queries but %d answer slots", len(qs), len(out)))
@@ -41,6 +43,96 @@ func (o *Oracle) AnswerAll(qs []Query, out []Answer) {
 	for i, q := range qs {
 		out[i].Est, out[i].OK = o.Estimate(int(q.V), q.S)
 	}
+}
+
+// AnswerSorted serves qs sequentially into out, exploiting (V, S)-
+// ascending query order: within one v-row the lookup gallops forward
+// from the previous hit instead of binary-searching the whole row, so a
+// sorted batch costs O(log gap) per query instead of O(log row) — the
+// answering half of the wire layer's frame-local locality sort. Answers
+// are bit-identical to AnswerAll's; order is a speed lever, never a
+// semantic one. Input that regresses out of sorted order is detected
+// per query and answered correctly from a full-row search, it just
+// forfeits the gallop. out shares AnswerAll's exact-length contract.
+//
+//pde:hotpath
+func (o *Oracle) AnswerSorted(qs []Query, out []Answer) {
+	if len(out) != len(qs) {
+		panic(fmt.Sprintf("oracle: AnswerSorted called with %d queries but %d answer slots", len(qs), len(out)))
+	}
+	for i := 0; i < len(qs); {
+		v := int(qs[i].V)
+		if v < 0 || v >= o.n {
+			out[i].Est, out[i].OK = core.Estimate{}, false
+			i++
+			continue
+		}
+		lo, hi := o.off[v], o.off[v+1]
+		if hi-lo == int64(o.n) {
+			// Dense row: srcs holds every source 0..n-1 in order (they
+			// are unique, sorted, and in [0, n)), so the entry for s sits
+			// at lo+s — no search at all. APSP-style tables are dense in
+			// every row, which turns the whole batch into a gather.
+			for ; i < len(qs) && int(qs[i].V) == v; i++ {
+				if s := qs[i].S; uint32(s) < uint32(o.n) {
+					out[i].Est, out[i].OK = o.at(lo+int64(s)), true
+				} else {
+					out[i].Est, out[i].OK = core.Estimate{}, false
+				}
+			}
+			continue
+		}
+		k := lo
+		prevS := int32(-1 << 31)
+		for ; i < len(qs) && int(qs[i].V) == v; i++ {
+			s := qs[i].S
+			if s < prevS {
+				k = lo // order regressed: stay correct, restart the walk
+			}
+			prevS = s
+			k = gallopLowerBound(o.srcs, k, hi, s)
+			if k < hi && o.srcs[k] == s {
+				out[i].Est, out[i].OK = o.at(k), true
+			} else {
+				out[i].Est, out[i].OK = core.Estimate{}, false
+			}
+		}
+	}
+}
+
+// gallopLowerBound returns the first index in srcs[lo:hi) holding a
+// value >= s, probing exponentially from lo before binary-searching the
+// final window — O(log distance-from-lo), which sorted batches make
+// much smaller than O(log (hi-lo)).
+//
+//pde:hotpath
+func gallopLowerBound(srcs []int32, lo, hi int64, s int32) int64 {
+	if lo >= hi || srcs[lo] >= s {
+		return lo
+	}
+	// Invariant: srcs[l] < s. Double the window until it crosses s or
+	// the row ends, then binary-search inside it.
+	step := int64(1)
+	l := lo
+	h := lo + step
+	for h < hi && srcs[h] < s {
+		l = h
+		step <<= 1
+		h = l + step
+	}
+	if h > hi {
+		h = hi
+	}
+	l++
+	for l < h {
+		mid := int64(uint64(l+h) >> 1)
+		if srcs[mid] < s {
+			l = mid + 1
+		} else {
+			h = mid
+		}
+	}
+	return l
 }
 
 // AnswerInto serves qs across workers goroutines (GOMAXPROCS when

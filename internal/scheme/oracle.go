@@ -114,6 +114,16 @@ func (in *OracleInstance) AnswerInto(qs []oracle.Query, out []oracle.Answer, wor
 	in.O.AnswerInto(qs, out, workers)
 }
 
+// AnswerSorted serves a (V, S)-ascending batch through the oracle's
+// galloping row walk — the optional capability the wire layer's
+// locality sort looks for. Other schemes omit it and the wire layer
+// falls back to AnswerInto.
+//
+//pde:hotpath
+func (in *OracleInstance) AnswerSorted(qs []oracle.Query, out []oracle.Answer) {
+	in.O.AnswerSorted(qs, out)
+}
+
 // Route expands the stretch-(1+ε) PDE route from v to s.
 func (in *OracleInstance) Route(v int, s int32) (*core.Route, error) {
 	return in.Rtr.Route(v, s)

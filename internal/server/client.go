@@ -53,6 +53,25 @@ func DefaultTransport() *http.Transport {
 	}
 }
 
+// ResolveWireAddr turns the wire_addr a daemon reports in /v1/stats into
+// a dialable endpoint. A PDE2 listener bound to all interfaces reports
+// an unspecified host (e.g. "[::]:7476" or "0.0.0.0:7476"); the daemon's
+// HTTP hostname is substituted so remote clients reach the same machine
+// the stats came from.
+func ResolveWireAddr(baseURL, wireAddr string) string {
+	host, port, err := net.SplitHostPort(wireAddr)
+	if err != nil {
+		return wireAddr
+	}
+	ip := net.ParseIP(host)
+	if host == "" || (ip != nil && ip.IsUnspecified()) {
+		if u, uerr := url.Parse(baseURL); uerr == nil && u.Hostname() != "" {
+			return net.JoinHostPort(u.Hostname(), port)
+		}
+	}
+	return wireAddr
+}
+
 // defaultHTTPClient backs every Client whose HTTP field is nil. Unlike
 // http.DefaultClient it cannot hang forever on a dead daemon: dials and
 // response headers time out, and every request path accepts a context

@@ -7,6 +7,7 @@ import (
 
 	"pde/internal/oracle"
 	"pde/internal/setdist"
+	"pde/internal/wire"
 )
 
 // ContentTypeBinary selects the binary batch codec: the allocation-light
@@ -57,13 +58,10 @@ const (
 	setDistAnswerRecordSize = 96
 )
 
-// Hop is one next-hop answer (the JSON and binary wire record).
-//
-//pde:wire size=5
-type Hop struct {
-	Next int32 `json:"next"`
-	OK   bool  `json:"ok"`
-}
+// Hop is one next-hop answer (the JSON and binary wire record). It is
+// the PDE2 protocol's hop record (internal/wire carries the //pde:wire
+// marker), aliased so the HTTP and raw-TCP paths cannot drift.
+type Hop = wire.Hop
 
 func putHeader(buf []byte, magic string, count int) {
 	copy(buf[:4], magic)

@@ -54,6 +54,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pde/internal/core"
@@ -107,6 +108,10 @@ type Server struct {
 	names []string // sorted shard names
 	start time.Time
 	mux   *http.ServeMux
+	// wireAddr is the bound PDE2 listener address advertised in
+	// /v1/stats; atomic because stats requests may race the daemon's
+	// wire-listener boot.
+	wireAddr atomic.Pointer[string]
 }
 
 // Prebuilt hands New already-constructed tables so callers that have paid
@@ -711,6 +716,14 @@ type QueryCounts struct {
 	Total    int64 `json:"total"`
 }
 
+// WireStats is the PDE2 raw-TCP share of a shard's traffic: answer
+// frames served and the point lookups they carried (those lookups are
+// also included in the per-endpoint QueryCounts).
+type WireStats struct {
+	Frames  int64 `json:"frames"`
+	Queries int64 `json:"queries"`
+}
+
 // ShardStatus is one shard's entry in /v1/stats.
 type ShardStatus struct {
 	Spec   Spec   `json:"spec"`
@@ -742,12 +755,17 @@ type ShardStatus struct {
 	QPS           float64     `json:"qps"`
 	Batches       BatchStats  `json:"batches"`
 	RouteCache    CacheStats  `json:"route_cache"`
+	Wire          WireStats   `json:"wire"`
 }
 
-// StatsResponse is the reply of /v1/stats.
+// StatsResponse is the reply of /v1/stats. WireAddr is the daemon's
+// PDE2 raw-TCP listener address when one is serving ("" otherwise); it
+// is how pde-query -codec wire and the cluster coordinator discover the
+// wire endpoint without extra configuration.
 type StatsResponse struct {
 	UptimeNS   int64                  `json:"uptime_ns"`
 	GoMaxProcs int                    `json:"gomaxprocs"`
+	WireAddr   string                 `json:"wire_addr,omitempty"`
 	Shards     map[string]ShardStatus `json:"shards"`
 }
 
@@ -760,6 +778,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeNS:   uptime.Nanoseconds(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		WireAddr:   s.WireAddr(),
 		Shards:     make(map[string]ShardStatus, len(s.slots)),
 	}
 	for name, sl := range s.slots {
@@ -805,6 +824,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Queries:          qc,
 			Batches:          bs,
 			RouteCache:       cs,
+			Wire:             WireStats{Frames: st.wireFrames.Load(), Queries: st.wireQueries.Load()},
 		}
 		if secs := uptime.Seconds(); secs > 0 {
 			status.QPS = float64(qc.Total) / secs

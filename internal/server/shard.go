@@ -36,6 +36,7 @@ type shard struct {
 	router *core.Router
 
 	fp      string // %016x of inst.Fingerprint(); returned with every answer
+	fpRaw   uint64 // the raw fingerprint, stamped on PDE2 answer frames
 	buildNS int64
 }
 
@@ -67,6 +68,7 @@ func instShard(inst scheme.Instance) *shard {
 		inst:    inst,
 		g:       inst.Graph(),
 		fp:      fmt.Sprintf("%016x", inst.Fingerprint()),
+		fpRaw:   inst.Fingerprint(),
 		buildNS: inst.BuildNS(),
 	}
 	if oi, ok := inst.(*scheme.OracleInstance); ok {

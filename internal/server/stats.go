@@ -23,6 +23,16 @@ type shardStats struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// PDE2 wire-path share of the traffic: frames answered and the point
+	// lookups they carried. The per-endpoint counters above already
+	// include these queries (the tally is transport-agnostic); this pair
+	// breaks out how much of it arrived over raw TCP. Like every counter
+	// in this struct they are atomic — wire connections observe stats
+	// from one goroutine per connection with no handler serialization,
+	// and /v1/stats reads concurrently with all of them.
+	wireFrames  atomic.Int64
+	wireQueries atomic.Int64
+
 	builds         atomic.Int64 // table generations built (1 = initial build)
 	lastSwapUnixNS atomic.Int64
 

@@ -6,6 +6,7 @@ import (
 
 	"pde/internal/oracle"
 	"pde/internal/setdist"
+	"pde/internal/wire"
 )
 
 // TestWireRecordSizesMatchStructLayout is the regression test behind the
@@ -33,5 +34,21 @@ func TestWireRecordSizesMatchStructLayout(t *testing.T) {
 			t.Errorf("%s: binary.Size = %d, want %d (struct layout drifted from the codec constant)",
 				tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestWireRecordSizesMatchPDE2 pins the HTTP binary codec's record
+// constants against the PDE2 wire protocol's: both transports carry the
+// same record layouts (the golden session test checks the bytes; this
+// checks the constants the length validations trust).
+func TestWireRecordSizesMatchPDE2(t *testing.T) {
+	if queryRecordSize != wire.QueryRecordSize {
+		t.Errorf("query record: HTTP codec %d bytes, PDE2 %d", queryRecordSize, wire.QueryRecordSize)
+	}
+	if answerRecordSize != wire.AnswerRecordSize {
+		t.Errorf("answer record: HTTP codec %d bytes, PDE2 %d", answerRecordSize, wire.AnswerRecordSize)
+	}
+	if hopRecordSize != wire.HopRecordSize {
+		t.Errorf("hop record: HTTP codec %d bytes, PDE2 %d", hopRecordSize, wire.HopRecordSize)
 	}
 }

@@ -1,0 +1,602 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"pde/internal/oracle"
+)
+
+// Conn is one PDE2 client connection. It is not safe for concurrent use:
+// a connection is either driven synchronously (Estimate / NextHop block
+// for their answer) or handed to a Pipeline, which keeps up to W frames
+// in flight. All steady-state buffers are owned by the Conn and reused,
+// so a warmed connection issues queries with zero heap allocations.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	// MaxBatch bounds the answer frames this client will accept
+	// (DefaultMaxBatch when zero); a lying server cannot force an
+	// arbitrary allocation.
+	MaxBatch int
+
+	shard string
+	n     int32
+	fp    uint64
+	corr  uint64
+
+	hdr  [HeaderSize]byte
+	rbuf []byte
+	wbuf []byte
+
+	err       error // sticky fatal transport error
+	pipelined bool
+}
+
+// Dial opens a PDE2 connection. Bind must be called before queries.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// NewConn wraps an established transport (the relay path dials its own
+// sockets) in a PDE2 client connection.
+func NewConn(nc net.Conn) *Conn {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 1<<16),
+		bw: bufio.NewWriterSize(nc, 1<<16),
+	}
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// SetDeadline bounds every subsequent read and write on the transport.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Shard is the currently bound shard name.
+func (c *Conn) Shard() string { return c.shard }
+
+// N is the bound shard's node count at Bind time.
+func (c *Conn) N() int32 { return c.n }
+
+// FingerprintRaw is the fingerprint stamped on the most recent Bound or
+// answer frame.
+func (c *Conn) FingerprintRaw() uint64 { return c.fp }
+
+func (c *Conn) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+func (c *Conn) fatal(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	c.nc.Close()
+	return err
+}
+
+func (c *Conn) ensureWbuf(n int) []byte {
+	if cap(c.wbuf) < n {
+		c.wbuf = make([]byte, n)
+	}
+	return c.wbuf[:n]
+}
+
+func (c *Conn) ensureRbuf(n int) []byte {
+	if cap(c.rbuf) < n {
+		c.rbuf = make([]byte, n)
+	}
+	return c.rbuf[:n]
+}
+
+// Bind selects the shard every later query frame on this connection
+// targets, returning its node count and current build fingerprint.
+func (c *Conn) Bind(shard string) (n int32, fingerprint uint64, err error) {
+	if c.err != nil {
+		return 0, 0, c.err
+	}
+	if len(shard) == 0 || len(shard) > MaxShardName {
+		return 0, 0, fmt.Errorf("wire: shard name must be 1..%d bytes", MaxShardName)
+	}
+	c.corr++
+	frame := c.ensureWbuf(HeaderSize + len(shard))
+	PutHeader(frame, FrameBind, c.corr, len(shard))
+	copy(frame[HeaderSize:], shard)
+	if _, err := c.bw.Write(frame); err != nil {
+		return 0, 0, c.fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, 0, c.fatal(err)
+	}
+	t, payload, err := c.readResponse(c.corr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if t != FrameBound {
+		return 0, 0, c.fatal(fmt.Errorf("wire: Bind answered with %v frame", t))
+	}
+	bn, fp, err := ParseBoundPayload(payload)
+	if err != nil {
+		return 0, 0, c.fatal(err)
+	}
+	c.shard, c.n, c.fp = shard, bn, fp
+	return bn, fp, nil
+}
+
+// Ping round-trips an empty frame.
+func (c *Conn) Ping() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.corr++
+	PutHeader(c.hdr[:], FramePing, c.corr, 0)
+	if _, err := c.bw.Write(c.hdr[:]); err != nil {
+		return c.fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fatal(err)
+	}
+	t, _, err := c.readResponse(c.corr)
+	if err != nil {
+		return err
+	}
+	if t != FramePong {
+		return c.fatal(fmt.Errorf("wire: Ping answered with %v frame", t))
+	}
+	return nil
+}
+
+// writeQueryFrame frames and flushes one query batch.
+//
+//pde:hotpath
+func (c *Conn) writeQueryFrame(t FrameType, corr uint64, qs []oracle.Query) error {
+	plen := QueryPayloadLen(len(qs))
+	frame := c.ensureWbuf(HeaderSize + plen)
+	PutHeader(frame, t, corr, plen)
+	PutQueryPayload(frame[HeaderSize:], qs)
+	if _, err := c.bw.Write(frame); err != nil {
+		return c.fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fatal(err)
+	}
+	return nil
+}
+
+// readResponse reads one response frame, returning its type and payload
+// (valid until the next read). Error frames come back as *RemoteError;
+// fatal ones poison the connection.
+//
+//pde:hotpath
+func (c *Conn) readResponse(wantCorr uint64) (FrameType, []byte, error) {
+	if _, err := readFull(c.br, c.hdr[:]); err != nil {
+		return 0, nil, c.fatal(err)
+	}
+	t, corr, plen, err := ParseHeader(c.hdr[:])
+	if err != nil {
+		return 0, nil, c.fatal(err)
+	}
+	if int(plen) > AnswersPayloadLen(c.maxBatch()) {
+		return 0, nil, c.fatal(ErrFrameTooBig)
+	}
+	payload := c.ensureRbuf(int(plen))
+	if _, err := readFull(c.br, payload); err != nil {
+		return 0, nil, c.fatal(err)
+	}
+	if t == FrameError {
+		code, msg, perr := ParseErrorPayload(payload)
+		if perr != nil {
+			return 0, nil, c.fatal(perr)
+		}
+		rerr := &RemoteError{Code: code, Message: msg}
+		if rerr.Fatal() {
+			return 0, nil, c.fatal(rerr)
+		}
+		return t, payload, rerr
+	}
+	if corr != wantCorr {
+		return 0, nil, c.fatal(ErrCorrMismatch)
+	}
+	return t, payload, nil
+}
+
+// Estimate answers qs into out (len(out) == len(qs)) synchronously and
+// returns the fingerprint of the table generation that answered. The
+// steady-state path performs no heap allocations.
+//
+//pde:hotpath
+func (c *Conn) Estimate(qs []oracle.Query, out []oracle.Answer) (fingerprint uint64, err error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.corr++
+	if err := c.writeQueryFrame(FrameEstimate, c.corr, qs); err != nil {
+		return 0, err
+	}
+	t, payload, err := c.readResponse(c.corr)
+	if err != nil {
+		return 0, err
+	}
+	return c.decodeAnswers(t, payload, qs, out)
+}
+
+// decodeAnswers validates and decodes an Answers payload into out.
+//
+//pde:hotpath
+func (c *Conn) decodeAnswers(t FrameType, payload []byte, qs []oracle.Query, out []oracle.Answer) (uint64, error) {
+	if t != FrameAnswers {
+		return 0, c.fatal(fmt.Errorf("wire: Estimate answered with %v frame", t))
+	}
+	fp, count, err := CheckAnswersPayload(payload)
+	if err != nil {
+		return 0, c.fatal(err)
+	}
+	if count != len(qs) || len(out) != len(qs) {
+		return 0, c.fatal(ErrBadPayload)
+	}
+	for i := 0; i < count; i++ {
+		if err := AnswerAt(payload, i, &out[i]); err != nil {
+			return 0, c.fatal(err)
+		}
+	}
+	c.fp = fp
+	return fp, nil
+}
+
+// NextHop answers qs into hops (len(hops) == len(qs)) synchronously.
+//
+//pde:hotpath
+func (c *Conn) NextHop(qs []oracle.Query, hops []Hop) (fingerprint uint64, err error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.corr++
+	if err := c.writeQueryFrame(FrameNextHop, c.corr, qs); err != nil {
+		return 0, err
+	}
+	t, payload, err := c.readResponse(c.corr)
+	if err != nil {
+		return 0, err
+	}
+	return c.decodeHops(t, payload, qs, hops)
+}
+
+// decodeHops validates and decodes a Hops payload into hops.
+//
+//pde:hotpath
+func (c *Conn) decodeHops(t FrameType, payload []byte, qs []oracle.Query, hops []Hop) (uint64, error) {
+	if t != FrameHops {
+		return 0, c.fatal(fmt.Errorf("wire: NextHop answered with %v frame", t))
+	}
+	fp, count, err := CheckHopsPayload(payload)
+	if err != nil {
+		return 0, c.fatal(err)
+	}
+	if count != len(qs) || len(hops) != len(qs) {
+		return 0, c.fatal(ErrBadPayload)
+	}
+	for i := 0; i < count; i++ {
+		if err := HopAt(payload, i, &hops[i]); err != nil {
+			return 0, c.fatal(err)
+		}
+	}
+	c.fp = fp
+	return fp, nil
+}
+
+// readFull is io.ReadFull specialized for *bufio.Reader so the hot read
+// loop never converts the reader to an interface.
+//
+//pde:hotpath
+func readFull(br *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := br.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// --- pipelining --------------------------------------------------------
+
+// Result reports one pipelined frame's outcome after the reader has
+// processed it: the fingerprint stamp of the generation that answered,
+// or a per-frame error (e.g. out_of_range). Results are owned by the
+// pipeline between submission and Wait/Flush.
+type Result struct {
+	FP  uint64
+	Err error
+}
+
+// pipeSlot is one in-flight frame's bookkeeping. A slot is owned by the
+// submitter between <-free and full<-, and by the reader goroutine
+// between <-full and free<- — the channels are the synchronization.
+type pipeSlot struct {
+	corr uint64
+	kind FrameType // expected response type
+	out  []oracle.Answer
+	hops []Hop
+	res  *Result
+}
+
+// Pipeline drives one Conn with up to depth frames in flight: Estimate
+// and NextHop submit without waiting for answers, a background reader
+// matches responses (which arrive in request order; correlation ids are
+// verified) and fills the caller's buffers. Throughput is then bounded
+// by the server's answer rate, not the round-trip latency — the wire
+// analogue of keeping CONGEST rounds full by pipelining aggregation
+// (the paper's Lemma 4 trick, applied to TCP).
+//
+// A Pipeline is single-submitter: one goroutine calls Estimate / NextHop
+// / Wait / Close; the reader goroutine is internal. Steady state
+// allocates nothing.
+type Pipeline struct {
+	c     *Conn
+	slots []pipeSlot
+	free  chan int32
+	full  chan int32
+	done  chan struct{}
+	ferr  atomic.Pointer[error]
+	rhdr  [HeaderSize]byte
+	rbuf  []byte
+	idxs  []int32 // Wait's scratch
+}
+
+// NewPipeline wraps c with depth frames of in-flight budget. The Conn
+// must be bound and must not be used directly until Close returns.
+func (c *Conn) NewPipeline(depth int) (*Pipeline, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.pipelined {
+		return nil, fmt.Errorf("wire: connection already has an active pipeline")
+	}
+	if c.shard == "" {
+		return nil, fmt.Errorf("wire: Bind before NewPipeline")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	c.pipelined = true
+	p := &Pipeline{
+		c:     c,
+		slots: make([]pipeSlot, depth),
+		free:  make(chan int32, depth),
+		full:  make(chan int32, depth),
+		done:  make(chan struct{}),
+		idxs:  make([]int32, 0, depth),
+	}
+	for i := range p.slots {
+		p.free <- int32(i)
+	}
+	go p.reader()
+	return p, nil
+}
+
+// Depth is the pipeline's in-flight frame budget.
+func (p *Pipeline) Depth() int { return len(p.slots) }
+
+// Estimate submits one estimate frame, blocking only when depth frames
+// are already in flight. out and res must stay untouched until Wait or
+// Close returns; res then carries the answering generation's
+// fingerprint or the per-frame error.
+//
+//pde:hotpath
+func (p *Pipeline) Estimate(qs []oracle.Query, out []oracle.Answer, res *Result) error {
+	return p.submit(FrameEstimate, qs, out, nil, res)
+}
+
+// NextHop submits one next-hop frame under the same contract.
+//
+//pde:hotpath
+func (p *Pipeline) NextHop(qs []oracle.Query, hops []Hop, res *Result) error {
+	return p.submit(FrameNextHop, qs, nil, hops, res)
+}
+
+//pde:hotpath
+func (p *Pipeline) submit(t FrameType, qs []oracle.Query, out []oracle.Answer, hops []Hop, res *Result) error {
+	if e := p.ferr.Load(); e != nil {
+		return *e
+	}
+	idx := <-p.free
+	sl := &p.slots[idx]
+	p.c.corr++
+	sl.corr = p.c.corr
+	sl.kind = t
+	sl.out = out
+	sl.hops = hops
+	sl.res = res
+	res.FP, res.Err = 0, nil
+	if err := p.c.writeQueryFrame(t, sl.corr, qs); err != nil {
+		p.setFatal(err)
+		p.free <- idx
+		return err
+	}
+	p.full <- idx
+	return nil
+}
+
+// Wait blocks until every submitted frame has been answered and its
+// Result filled, then returns the pipeline's transport error, if any
+// (per-frame server errors live in each Result). The pipeline remains
+// usable after Wait.
+func (p *Pipeline) Wait() error {
+	p.idxs = p.idxs[:0]
+	for i := 0; i < len(p.slots); i++ {
+		p.idxs = append(p.idxs, <-p.free)
+	}
+	for _, idx := range p.idxs {
+		p.free <- idx
+	}
+	if e := p.ferr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Close waits for in-flight frames, stops the reader and releases the
+// Conn for direct use again.
+func (p *Pipeline) Close() error {
+	err := p.Wait()
+	close(p.full)
+	<-p.done
+	p.c.pipelined = false
+	return err
+}
+
+func (p *Pipeline) setFatal(err error) {
+	if p.ferr.Load() == nil {
+		p.ferr.Store(&err)
+	}
+}
+
+// reader drains responses for in-flight slots. After a transport error
+// it keeps servicing the channel protocol (marking every later frame
+// failed) so submitters never block on a dead pipeline.
+func (p *Pipeline) reader() {
+	defer close(p.done)
+	for idx := range p.full {
+		sl := &p.slots[idx]
+		if e := p.ferr.Load(); e != nil {
+			sl.res.Err = *e
+		} else {
+			p.readInto(sl)
+		}
+		p.free <- idx
+	}
+}
+
+// ensureRbuf grows the pipeline's shared read buffer — the cold path of
+// readInto, kept out of the //pde:hotpath marker's reach on purpose.
+func (p *Pipeline) ensureRbuf(n int) []byte {
+	if cap(p.rbuf) < n {
+		p.rbuf = make([]byte, n)
+	}
+	return p.rbuf[:n]
+}
+
+// readInto reads and decodes the response for one slot.
+//
+//pde:hotpath
+func (p *Pipeline) readInto(sl *pipeSlot) {
+	if _, err := readFull(p.c.br, p.rhdr[:]); err != nil {
+		p.setFatal(err)
+		sl.res.Err = err
+		return
+	}
+	t, corr, plen, err := ParseHeader(p.rhdr[:])
+	if err != nil {
+		p.setFatal(err)
+		sl.res.Err = err
+		return
+	}
+	if int(plen) > AnswersPayloadLen(p.c.maxBatch()) {
+		p.setFatal(ErrFrameTooBig)
+		sl.res.Err = ErrFrameTooBig
+		return
+	}
+	payload := p.ensureRbuf(int(plen))
+	if _, err := readFull(p.c.br, payload); err != nil {
+		p.setFatal(err)
+		sl.res.Err = err
+		return
+	}
+	if corr != sl.corr {
+		p.setFatal(ErrCorrMismatch)
+		sl.res.Err = ErrCorrMismatch
+		return
+	}
+	if t == FrameError {
+		code, msg, perr := ParseErrorPayload(payload)
+		if perr != nil {
+			p.setFatal(perr)
+			sl.res.Err = perr
+			return
+		}
+		rerr := &RemoteError{Code: code, Message: msg}
+		sl.res.Err = rerr
+		if rerr.Fatal() {
+			p.setFatal(rerr)
+		}
+		return
+	}
+	if t != sl.kind+0x80 {
+		err := fmt.Errorf("wire: frame type %v answered a %v request", t, sl.kind)
+		p.setFatal(err)
+		sl.res.Err = err
+		return
+	}
+	p.decodeSlot(sl, t, payload)
+}
+
+// decodeSlot fills the slot's caller buffers from a validated payload.
+//
+//pde:hotpath
+func (p *Pipeline) decodeSlot(sl *pipeSlot, t FrameType, payload []byte) {
+	switch t {
+	case FrameAnswers:
+		fp, count, err := CheckAnswersPayload(payload)
+		if err == nil && count != len(sl.out) {
+			err = ErrBadPayload
+		}
+		if err != nil {
+			p.setFatal(err)
+			sl.res.Err = err
+			return
+		}
+		for i := 0; i < count; i++ {
+			if err := AnswerAt(payload, i, &sl.out[i]); err != nil {
+				p.setFatal(err)
+				sl.res.Err = err
+				return
+			}
+		}
+		sl.res.FP = fp
+	case FrameHops:
+		fp, count, err := CheckHopsPayload(payload)
+		if err == nil && count != len(sl.hops) {
+			err = ErrBadPayload
+		}
+		if err != nil {
+			p.setFatal(err)
+			sl.res.Err = err
+			return
+		}
+		for i := 0; i < count; i++ {
+			if err := HopAt(payload, i, &sl.hops[i]); err != nil {
+				p.setFatal(err)
+				sl.res.Err = err
+				return
+			}
+		}
+		sl.res.FP = fp
+	}
+}
